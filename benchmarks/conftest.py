@@ -1,0 +1,186 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Schedules
+are computed once per (dataset, scheduler) pair and cached for the whole
+session; the machine simulations that turn schedules into speed-ups are
+cheap and re-run per machine preset.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the paper-vs-measured tables each benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import DatasetInstance, build_dataset
+from repro.machine.async_sim import simulate_async
+from repro.machine.bsp_sim import simulate_bsp
+from repro.machine.model import MachineModel, get_machine
+from repro.machine.serial_sim import simulate_serial
+from repro.matrix.permute import permute_symmetric
+from repro.scheduler import (
+    BSPListScheduler,
+    FunnelGrowLocalScheduler,
+    GrowLocalScheduler,
+    HDaggScheduler,
+    SpMPScheduler,
+    WavefrontScheduler,
+)
+from repro.scheduler.reorder import schedule_reordering
+from repro.utils.timing import Timer
+
+#: The scheduler line-up of Table 7.1 plus the extra baselines used by
+#: specific tables (BSPg for Appendix C.1, wavefront for Table 7.2).
+MAIN_SCHEDULERS = ("growlocal", "funnel+gl", "spmp", "hdagg")
+
+
+def make(name: str):
+    """Fresh scheduler instance by benchmark name."""
+    return {
+        "growlocal": GrowLocalScheduler,
+        "funnel+gl": FunnelGrowLocalScheduler,
+        "spmp": SpMPScheduler,
+        "hdagg": HDaggScheduler,
+        "bspg": BSPListScheduler,
+        "wavefront": WavefrontScheduler,
+        "growlocal-noreorder": GrowLocalScheduler,
+    }[name]()
+
+
+@dataclass
+class ScheduledRun:
+    """One (instance, scheduler) schedule plus everything needed to
+    simulate it on any machine."""
+
+    instance: DatasetInstance
+    scheduler_name: str
+    n_supersteps: int
+    sched_seconds: float
+    exec_matrix: object  # CSRMatrix actually executed (maybe reordered)
+    exec_schedule: object
+    mode: str  # "bsp" | "async"
+    sync_dag: object | None = None
+    _serial_cache: dict = field(default_factory=dict)
+
+    def simulate(self, machine: MachineModel) -> float:
+        """Parallel execution cycles on ``machine``."""
+        if self.mode == "async":
+            return simulate_async(
+                self.exec_matrix, self.exec_schedule, self.sync_dag, machine
+            ).total_cycles
+        return simulate_bsp(
+            self.exec_matrix, self.exec_schedule, machine
+        ).total_cycles
+
+    def serial(self, machine: MachineModel) -> float:
+        key = (machine.name, machine.n_cores, machine.cache_lines,
+               machine.miss_penalty)
+        if key not in self._serial_cache:
+            self._serial_cache[key] = simulate_serial(
+                self.instance.lower, machine
+            )
+        return self._serial_cache[key]
+
+    def speedup(self, machine: MachineModel) -> float:
+        return self.serial(machine) / self.simulate(machine)
+
+
+def schedule_one(
+    inst: DatasetInstance,
+    scheduler_name: str,
+    n_cores: int,
+    *,
+    reorder: bool | None = None,
+) -> ScheduledRun:
+    """Schedule one instance, applying the paper's default reordering rule
+    (on for GrowLocal/Funnel+GL, off for baselines)."""
+    scheduler = make(scheduler_name)
+    if reorder is None:
+        reorder = scheduler_name in ("growlocal", "funnel+gl")
+    with Timer() as t:
+        schedule = scheduler.schedule(inst.dag, n_cores)
+    exec_matrix, exec_schedule = inst.lower, schedule
+    if reorder and scheduler.execution_mode == "bsp":
+        perm = schedule_reordering(schedule)
+        exec_matrix = permute_symmetric(inst.lower, perm)
+        exec_schedule = schedule.reorder_vertices(perm)
+    return ScheduledRun(
+        instance=inst,
+        scheduler_name=scheduler_name,
+        n_supersteps=schedule.n_supersteps,
+        sched_seconds=t.elapsed,
+        exec_matrix=exec_matrix,
+        exec_schedule=exec_schedule,
+        mode=scheduler.execution_mode,
+        sync_dag=getattr(scheduler, "sync_dag", None),
+    )
+
+
+# ---------------------------------------------------------------------------
+# session-scoped caches
+# ---------------------------------------------------------------------------
+_SCHEDULE_CACHE: dict[tuple, ScheduledRun] = {}
+
+
+def cached_schedule(
+    inst: DatasetInstance,
+    scheduler_name: str,
+    n_cores: int,
+    *,
+    reorder: bool | None = None,
+) -> ScheduledRun:
+    key = (inst.name, scheduler_name, n_cores, reorder)
+    if key not in _SCHEDULE_CACHE:
+        _SCHEDULE_CACHE[key] = schedule_one(
+            inst, scheduler_name, n_cores, reorder=reorder
+        )
+    return _SCHEDULE_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def intel() -> MachineModel:
+    return get_machine("intel_xeon_6238t")
+
+
+@pytest.fixture(scope="session")
+def amd() -> MachineModel:
+    return get_machine("amd_epyc_7763")
+
+
+@pytest.fixture(scope="session")
+def arm() -> MachineModel:
+    return get_machine("kunpeng_920")
+
+
+@pytest.fixture(scope="session")
+def suitesparse():
+    return build_dataset("suitesparse")
+
+
+@pytest.fixture(scope="session")
+def all_datasets():
+    return {name: build_dataset(name)
+            for name in ("suitesparse", "metis", "ichol",
+                         "erdos_renyi", "narrow_band")}
+
+
+def dataset_speedups(
+    instances,
+    scheduler_names,
+    machine: MachineModel,
+    n_cores: int,
+) -> dict[str, list[float]]:
+    """Speed-ups per scheduler over a dataset (the Table 7.1 kernel)."""
+    out: dict[str, list[float]] = {name: [] for name in scheduler_names}
+    for inst in instances:
+        for name in scheduler_names:
+            run = cached_schedule(inst, name, n_cores)
+            out[name].append(run.speedup(machine))
+    return out

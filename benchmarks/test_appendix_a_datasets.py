@@ -1,0 +1,55 @@
+"""Tables A.1–A.5: dataset statistics (size, non-zeros, average wavefront).
+
+Prints the statistics of every proxy dataset in the format of the
+appendix tables and checks the regimes the paper's dataset construction
+targets: the selection rule of Section 6.2.1 on the SuiteSparse set, the
+ND-permutation raising wavefront parallelism (METIS), and the narrow-band
+matrices being the hardest to parallelize.
+"""
+
+from repro.experiments.datasets import MIN_AVG_WAVEFRONT, MIN_FLOPS
+from repro.experiments.tables import format_table
+from repro.utils.stats import geometric_mean
+
+
+def test_appendix_a_dataset_statistics(benchmark, all_datasets):
+    print()
+    for ds_name, instances in all_datasets.items():
+        rows = [
+            [inst.name, inst.n, inst.nnz, int(inst.avg_wavefront)]
+            for inst in instances
+        ]
+        print(format_table(
+            ["matrix", "size", "#non-zeros", "avg wf"],
+            rows, title=f"Table A.x - {ds_name}",
+        ))
+        print()
+
+    ss = all_datasets["suitesparse"]
+    # Section 6.2.1 selection criteria hold for every retained matrix
+    for inst in ss:
+        assert inst.flops >= MIN_FLOPS
+        assert inst.avg_wavefront >= MIN_AVG_WAVEFRONT
+
+    # METIS permutation increases available parallelism (Table A.2 effect)
+    ss_wf = geometric_mean([i.avg_wavefront for i in ss])
+    metis_wf = geometric_mean(
+        [i.avg_wavefront for i in all_datasets["metis"]]
+    )
+    assert metis_wf > ss_wf
+
+    # narrow-band matrices are the least parallel of the five datasets
+    nb_wf = geometric_mean(
+        [i.avg_wavefront for i in all_datasets["narrow_band"]]
+    )
+    assert nb_wf == min(
+        nb_wf,
+        ss_wf,
+        metis_wf,
+        geometric_mean([i.avg_wavefront for i in all_datasets["ichol"]]),
+        geometric_mean(
+            [i.avg_wavefront for i in all_datasets["erdos_renyi"]]
+        ),
+    )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Figure 1.2: geometric mean and interquartile range of speed-ups over
+serial on the SuiteSparse proxy set (Intel x86, 22 cores).
+
+Paper values: GrowLocal geomean ~10.79 with SpMP ~7.60 and HDagg ~3.25,
+GrowLocal's IQR sitting clearly above both baselines.  The shape to
+reproduce: GrowLocal > SpMP > HDagg, with HDagg's whole IQR below
+GrowLocal's.
+"""
+
+from benchmarks.conftest import cached_schedule, dataset_speedups
+from repro.experiments.tables import format_table
+from repro.utils.stats import geometric_mean, interquartile_range
+
+PAPER = {"growlocal": 10.79, "spmp": 7.60, "hdagg": 3.25}
+
+
+def test_fig1_2_overall_speedup(benchmark, suitesparse, intel):
+    speedups = dataset_speedups(
+        suitesparse, ("growlocal", "spmp", "hdagg"), intel, 22
+    )
+
+    rows = []
+    geo = {}
+    for name, values in speedups.items():
+        g = geometric_mean(values)
+        q25, q75 = interquartile_range(values)
+        geo[name] = g
+        rows.append([name, g, q25, q75, PAPER[name]])
+    print()
+    print(format_table(
+        ["algorithm", "geomean", "q25", "q75", "paper-geomean"],
+        rows, title="Figure 1.2 - speed-up over serial (SuiteSparse, 22c)",
+    ))
+
+    # shape assertions: the paper's ordering must reproduce
+    assert geo["growlocal"] > geo["spmp"] > geo["hdagg"]
+
+    # benchmark target: one GrowLocal scheduling pass on the first matrix
+    inst = suitesparse[0]
+    benchmark.pedantic(
+        lambda: cached_schedule(inst, "growlocal", 22).speedup(intel),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,66 @@
+"""Figure B.1: scheduling time of GrowLocal and Funnel+GL vs the number of
+non-zeros — the empirical confirmation of Theorem 3.1's near-linear
+complexity.
+
+The paper fits ``log(time) = log(nnz) + c``; we reproduce the sweep over a
+family of matrices spanning an order of magnitude in nnz and check that
+the measured times are consistent with (near-)linear scaling: the fitted
+exponent of ``time ~ nnz^k`` should be close to 1 (we accept 0.6-1.6 to
+allow for interpreter noise at the small end).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import make
+from repro.experiments.datasets import DatasetInstance
+from repro.experiments.figures import figure_b1_series
+from repro.experiments.tables import format_table
+from repro.matrix.generators import rcm_mesh
+from repro.utils.timing import Timer
+
+
+def _family():
+    """Matrices with the same structure at growing size."""
+    sizes = [(40, 100), (60, 150), (90, 220), (130, 330), (190, 480)]
+    for levels, width in sizes:
+        full = rcm_mesh(levels, width, reach=1, lateral_prob=0.3,
+                        long_edge_prob=0.03, seed=levels)
+        yield DatasetInstance(
+            f"mesh_{levels}x{width}", full.lower_triangle()
+        )
+
+
+def test_figB1_scheduling_time_scaling(benchmark):
+    rows = []
+    exponents = {}
+    for sched_name in ("growlocal", "funnel+gl"):
+        nnzs, times = [], []
+        for inst in _family():
+            sched = make(sched_name)
+            with Timer() as t:
+                sched.schedule(inst.dag, 22)
+            nnzs.append(inst.nnz)
+            times.append(max(t.elapsed, 1e-6))
+        series = figure_b1_series(nnzs, times)
+        # least-squares exponent of time ~ nnz^k
+        k = np.polyfit(np.log(nnzs), np.log(times), 1)[0]
+        exponents[sched_name] = k
+        for nnz, s, fit in zip(nnzs, times, series["fit_seconds"]):
+            rows.append([sched_name, nnz, s, fit])
+    print()
+    print(format_table(
+        ["algorithm", "nnz", "seconds", "unit-slope fit"],
+        rows, title="Figure B.1 - scheduling time vs nnz",
+        float_fmt="{:.4f}",
+    ))
+    print(f"fitted exponents: {exponents}")
+
+    for name, k in exponents.items():
+        assert 0.6 < k < 1.6, (name, k)
+
+    benchmark.pedantic(
+        lambda: make("growlocal").schedule(
+            next(iter(_family())).dag, 22
+        ),
+        rounds=1, iterations=1,
+    )

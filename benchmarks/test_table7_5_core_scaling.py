@@ -1,0 +1,70 @@
+"""Table 7.5 + Figure 7.2: GrowLocal speed-up vs core count on the AMD
+machine, overall and grouped by average wavefront size.
+
+Paper values (Table 7.5, SuiteSparse geomean):
+
+    cores:    4     16    32    48    56    64
+    speedup: 2.63  4.15  5.34  5.70  5.76  5.85
+
+Figure 7.2 groups (avg wavefront 44-127 / 128-1200 / >50000): small-
+wavefront matrices stop scaling early; the huge-wavefront group keeps
+climbing.  Our proxies are ~50x smaller, so the group boundaries are
+rescaled to 44-127 / 128-1200 / >1200 (the outlier proxies have avg
+wavefront in the thousands instead of >50k).
+"""
+
+from benchmarks.conftest import cached_schedule
+from repro.experiments.tables import format_table
+from repro.utils.stats import geometric_mean
+
+PAPER_SCALING = {4: 2.63, 16: 4.15, 32: 5.34, 48: 5.70, 56: 5.76, 64: 5.85}
+CORE_COUNTS = (4, 16, 32, 48, 56, 64)
+GROUPS = ((44.0, 128.0), (128.0, 1200.0), (1200.0, float("inf")))
+
+
+def test_table7_5_core_scaling(benchmark, suitesparse, amd):
+    speedups: dict[int, list[float]] = {}
+    wf = [inst.avg_wavefront for inst in suitesparse]
+    for cores in CORE_COUNTS:
+        machine = amd.with_cores(cores)
+        speedups[cores] = [
+            cached_schedule(inst, "growlocal", cores).speedup(machine)
+            for inst in suitesparse
+        ]
+
+    overall = {c: geometric_mean(v) for c, v in speedups.items()}
+    rows = [["measured"] + [overall[c] for c in CORE_COUNTS],
+            ["paper"] + [PAPER_SCALING[c] for c in CORE_COUNTS]]
+    print()
+    print(format_table(
+        ["series"] + [str(c) for c in CORE_COUNTS], rows,
+        title="Table 7.5 - GrowLocal scaling on AMD (SuiteSparse)",
+    ))
+
+    # Figure 7.2: per-wavefront-group series
+    group_rows = []
+    group_final = {}
+    for lo, hi in GROUPS:
+        label = f"{lo:.0f}-{hi:.0f}" if hi != float("inf") else f">{lo:.0f}"
+        series = []
+        for cores in CORE_COUNTS:
+            sel = [s for s, w in zip(speedups[cores], wf) if lo <= w < hi]
+            series.append(geometric_mean(sel) if sel else float("nan"))
+        group_rows.append([label] + series)
+        group_final[label] = series[-1]
+    print(format_table(
+        ["avg-wf group"] + [str(c) for c in CORE_COUNTS], group_rows,
+        title="Figure 7.2 - scaling grouped by avg wavefront size",
+    ))
+
+    # shapes: more cores help up to saturation; diminishing returns at the
+    # high end (Table 7.5's observation)
+    assert overall[16] > overall[4]
+    low_gain = overall[64] / overall[48]
+    early_gain = overall[16] / overall[4]
+    assert low_gain < early_gain
+    # the huge-wavefront group scales to the most cores
+    labels = list(group_final)
+    assert group_final[labels[-1]] >= group_final[labels[0]]
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,65 @@
+"""Table 7.6: amortization threshold (Eq. 7.1) quartiles on SuiteSparse.
+
+Paper values (number of solves needed to amortize scheduling time):
+
+    Algorithm    Q25     Median   Q75
+    GrowLocal    23.78    26.12   30.28
+    Funnel+GL    17.78    21.74   27.78
+    SpMP          3.65     5.51    8.41
+    HDagg       311.23   961.39  1848.80
+
+Shape: SpMP amortizes fastest, GrowLocal within the same order of
+magnitude, HDagg orders of magnitude worse.  Absolute values are not
+comparable — our schedulers run in CPython while the solve times come from
+the cycle simulator — but the *relative ordering between algorithms* is
+meaningful because all schedulers share the same runtime.
+"""
+
+import math
+
+from benchmarks.conftest import MAIN_SCHEDULERS, cached_schedule
+from repro.experiments.metrics import amortization_threshold
+from repro.experiments.tables import format_table
+from repro.utils.stats import quartiles
+
+PAPER = {
+    "growlocal": (23.78, 26.12, 30.28),
+    "funnel+gl": (17.78, 21.74, 27.78),
+    "spmp": (3.65, 5.51, 8.41),
+    "hdagg": (311.23, 961.39, 1848.80),
+}
+
+
+def test_table7_6_amortization(benchmark, suitesparse, intel):
+    thresholds: dict[str, list[float]] = {s: [] for s in MAIN_SCHEDULERS}
+    for inst in suitesparse:
+        for sched in MAIN_SCHEDULERS:
+            run = cached_schedule(inst, sched, 22)
+            serial_s = intel.cycles_to_seconds(run.serial(intel))
+            parallel_s = intel.cycles_to_seconds(run.simulate(intel))
+            thresholds[sched].append(
+                amortization_threshold(
+                    run.sched_seconds, serial_s, parallel_s
+                )
+            )
+
+    rows = []
+    medians = {}
+    for sched in MAIN_SCHEDULERS:
+        finite = [t for t in thresholds[sched] if math.isfinite(t)]
+        q25, q50, q75 = quartiles(finite if finite else [math.inf])
+        medians[sched] = q50
+        rows.append([sched, q25, q50, q75, PAPER[sched][1]])
+    print()
+    print(format_table(
+        ["algorithm", "Q25", "median", "Q75", "(paper median)"],
+        rows, title="Table 7.6 - amortization threshold (SuiteSparse)",
+        float_fmt="{:.3g}",
+    ))
+
+    # shape: HDagg needs far more reuses than GrowLocal; SpMP fewer than
+    # HDagg (its scheduling is only level sets + transitive reduction)
+    assert medians["hdagg"] > medians["growlocal"]
+    assert medians["spmp"] < medians["hdagg"]
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

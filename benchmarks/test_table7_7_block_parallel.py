@@ -1,0 +1,108 @@
+"""Table 7.7: block-parallel scheduling (Section 3.1) — the effect of
+running GrowLocal on diagonal blocks with multiple scheduling threads.
+
+Paper values (relative to one scheduling thread, SuiteSparse geomeans):
+
+    Threads  Sched.time x  Flops/s x  Supersteps x  Amort.(median)
+       1         1.00         1.00        1.00         26.12
+       2         2.01         0.89        1.47         13.59
+       4         4.11         0.79        1.99          6.91
+       6         6.28         0.74        2.35          4.54
+       8         8.34         0.70        2.66          3.48
+      16        17.06         0.57        3.84          1.78
+      22        23.43         0.52        4.53          1.31
+
+Shapes: super-linear scheduling-time speed-up (cross-block edges are never
+examined), a moderate drop in solve rate, a growing superstep count, and a
+near-linear fall in the amortization threshold.
+"""
+
+import math
+
+import numpy as np
+
+from repro.experiments.metrics import amortization_threshold
+from repro.experiments.tables import format_table
+from repro.machine.bsp_sim import simulate_bsp
+from repro.machine.serial_sim import simulate_serial
+from repro.matrix.permute import permute_symmetric
+from repro.scheduler import BlockScheduler, GrowLocalScheduler
+from repro.scheduler.reorder import schedule_reordering
+from repro.utils.stats import geometric_mean, quartiles
+
+PAPER = {
+    1: (1.00, 1.00, 1.00, 26.12),
+    2: (2.01, 0.89, 1.47, 13.59),
+    4: (4.11, 0.79, 1.99, 6.91),
+    8: (8.34, 0.70, 2.66, 3.48),
+    16: (17.06, 0.57, 3.84, 1.78),
+}
+
+THREADS = (1, 2, 4, 8, 16)
+
+
+def test_table7_7_block_parallel(benchmark, suitesparse, intel):
+    # per thread-count: relative sched time speedup, relative flops/s,
+    # relative supersteps, median amortization
+    sched_speedup: dict[int, list[float]] = {t: [] for t in THREADS}
+    flops_ratio: dict[int, list[float]] = {t: [] for t in THREADS}
+    step_ratio: dict[int, list[float]] = {t: [] for t in THREADS}
+    amort: dict[int, list[float]] = {t: [] for t in THREADS}
+
+    for inst in suitesparse:
+        base_time = None
+        base_steps = None
+        base_cycles = None
+        serial_cycles = simulate_serial(inst.lower, intel)
+        serial_seconds = intel.cycles_to_seconds(serial_cycles)
+        for t in THREADS:
+            block = BlockScheduler(GrowLocalScheduler(), t)
+            schedule = block.schedule(inst.dag, 22)
+            # the parallel scheduling time is the per-block makespan
+            par_time = max(block.parallel_scheduling_time, 1e-9)
+            perm = schedule_reordering(schedule)
+            mat = permute_symmetric(inst.lower, perm)
+            cycles = simulate_bsp(
+                mat, schedule.reorder_vertices(perm), intel
+            ).total_cycles
+            if t == 1:
+                base_time, base_steps, base_cycles = (
+                    par_time, schedule.n_supersteps, cycles
+                )
+            sched_speedup[t].append(base_time / par_time)
+            flops_ratio[t].append(base_cycles / cycles)
+            step_ratio[t].append(
+                schedule.n_supersteps / max(base_steps, 1)
+            )
+            amort[t].append(amortization_threshold(
+                par_time, serial_seconds, intel.cycles_to_seconds(cycles)
+            ))
+
+    rows = []
+    stats = {}
+    for t in THREADS:
+        s = geomean_safe(sched_speedup[t])
+        f = geomean_safe(flops_ratio[t])
+        st = geomean_safe(step_ratio[t])
+        _, am, _ = quartiles([a for a in amort[t] if math.isfinite(a)])
+        stats[t] = (s, f, st, am)
+        rows.append([t, s, f, st, am] + list(PAPER[t]))
+    print()
+    print(format_table(
+        ["threads", "sched-x", "flops-x", "steps-x", "amort",
+         "(p sched)", "(p flops)", "(p steps)", "(p amort)"],
+        rows, title="Table 7.7 - block-parallel scheduling (GrowLocal)",
+    ))
+
+    # shapes: scheduling time speeds up with threads, solve rate drops
+    # mildly, supersteps grow, amortization falls
+    assert stats[8][0] > stats[2][0] > 1.0
+    assert stats[16][1] <= stats[1][1] + 1e-9
+    assert stats[16][2] >= stats[1][2]
+    assert stats[16][3] < stats[1][3]
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def geomean_safe(values):
+    return geometric_mean([max(v, 1e-12) for v in values])

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Extending the library: writing and registering a custom scheduler.
+
+Implements a "greedy level-halving" scheduler in ~30 lines against the
+public Scheduler interface, registers it, and benchmarks it against
+GrowLocal on the same instance — the extension path a downstream user
+would follow.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+import numpy as np
+
+from repro import DAG, Scheduler, Schedule, get_machine
+from repro.experiments.datasets import DatasetInstance
+from repro.experiments.runner import run_instance
+from repro.experiments.tables import format_table
+from repro.graph.wavefront import wavefront_levels
+from repro.matrix.generators import rcm_mesh
+from repro.scheduler import make_scheduler, register_scheduler
+from repro.scheduler.wavefront_sched import balanced_contiguous_split
+
+
+class LevelPairScheduler(Scheduler):
+    """Glues every two consecutive wavefronts into one superstep by
+    assigning both levels' vertices to cores in contiguous chunks of the
+    *combined* level — valid because the second level's dependencies on
+    the first stay on the same core only if the chunks align, so we simply
+    put each odd level entirely on the cores of its even predecessor's
+    chunk owners via a shared contiguous split of the pair."""
+
+    name = "levelpair"
+
+    def schedule(self, dag: DAG, n_cores: int) -> Schedule:
+        self._check_cores(n_cores)
+        level = wavefront_levels(dag)
+        sigma = level // 2  # halve the barrier count
+        cores = np.zeros(dag.n, dtype=np.int64)
+        for s in range(int(sigma.max()) + 1 if dag.n else 0):
+            members = np.sort(np.nonzero(sigma == s)[0])
+            # one core per pair-superstep chunk; chunks must be closed
+            # under the intra-pair dependencies, so we fall back to a
+            # single core when an edge would cross chunks
+            split = balanced_contiguous_split(
+                dag.weights[members], n_cores
+            )
+            cores[members] = split
+            # repair: any intra-superstep edge crossing cores pulls the
+            # child onto the parent's core
+            for v in members:
+                for u in dag.parents(int(v)):
+                    if sigma[u] == s and cores[u] != cores[v]:
+                        cores[v] = cores[u]
+        return Schedule(cores, sigma, n_cores)
+
+
+def main() -> None:
+    register_scheduler("levelpair", LevelPairScheduler)
+
+    inst = DatasetInstance(
+        "fem_band",
+        rcm_mesh(120, 200, reach=1, lateral_prob=0.3,
+                 seed=0).lower_triangle(),
+    )
+    machine = get_machine("intel_xeon_6238t")
+    rows = []
+    for name in ("levelpair", "wavefront", "growlocal"):
+        r = run_instance(inst, make_scheduler(name), machine)
+        rows.append([name, r.n_supersteps, f"{r.speedup:.2f}x"])
+    print(format_table(
+        ["scheduler", "supersteps", "simulated speed-up"],
+        rows, title=f"custom scheduler on {inst.name} (22 cores)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

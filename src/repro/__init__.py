@@ -1,0 +1,100 @@
+"""repro — Efficient Parallel Scheduling for Sparse Triangular Solvers.
+
+A self-contained reproduction of Böhnlein, Papp, Steiner, Matzoros &
+Yzelman, *Efficient Parallel Scheduling for Sparse Triangular Solvers*
+(IPDPS 2025, arXiv:2503.05408): the GrowLocal barrier scheduler, Funnel
+coarsening, the SpMP/HDagg/BSPg/wavefront baselines, the locality
+reordering, block-parallel scheduling, and a simulated multicore machine
+for the evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import (CSRMatrix, DAG, GrowLocalScheduler,
+...                    forward_substitution, scheduled_sptrsv)
+>>> from repro.matrix.generators import erdos_renyi_lower
+>>> L = erdos_renyi_lower(1000, 2e-3, seed=0)
+>>> dag = DAG.from_lower_triangular(L)
+>>> schedule = GrowLocalScheduler().schedule(dag, n_cores=8)
+>>> b = np.ones(L.n)
+>>> x = scheduled_sptrsv(L, b, schedule)
+>>> np.allclose(x, forward_substitution(L, b))
+True
+
+Subpackages
+-----------
+``repro.matrix``     sparse matrix substrate (CSR, generators, orderings,
+                     IC(0), Matrix-Market I/O)
+``repro.graph``      dependence DAGs, wavefronts, transitive reduction,
+                     acyclicity-preserving coarsening
+``repro.scheduler``  GrowLocal and all baseline schedulers
+``repro.machine``    the simulated multicore (BSP + asynchronous models)
+``repro.solver``     SpTRSV kernels, scheduled/threaded execution, PCG,
+                     Gauß–Seidel
+``repro.experiments`` datasets, runner, metrics, tables and figures
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    InvalidPartitionError,
+    InvalidScheduleError,
+    MatrixFormatError,
+    NotTriangularError,
+    ReproError,
+    SingularMatrixError,
+)
+from repro.graph.dag import DAG
+from repro.machine.model import MachineModel, get_machine, list_machines
+from repro.matrix.csr import CSRMatrix
+from repro.scheduler import (
+    BlockScheduler,
+    BSPListScheduler,
+    FunnelGrowLocalScheduler,
+    GrowLocalScheduler,
+    HDaggScheduler,
+    Schedule,
+    Scheduler,
+    SerialScheduler,
+    SpMPScheduler,
+    WavefrontScheduler,
+    make_scheduler,
+)
+from repro.solver import (
+    backward_substitution,
+    forward_substitution,
+    scheduled_sptrsv,
+    threaded_sptrsv,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSPListScheduler",
+    "BlockScheduler",
+    "CSRMatrix",
+    "ConfigurationError",
+    "DAG",
+    "FunnelGrowLocalScheduler",
+    "GrowLocalScheduler",
+    "HDaggScheduler",
+    "InvalidPartitionError",
+    "InvalidScheduleError",
+    "MachineModel",
+    "MatrixFormatError",
+    "NotTriangularError",
+    "ReproError",
+    "Schedule",
+    "Scheduler",
+    "SerialScheduler",
+    "SingularMatrixError",
+    "SpMPScheduler",
+    "WavefrontScheduler",
+    "__version__",
+    "backward_substitution",
+    "forward_substitution",
+    "get_machine",
+    "list_machines",
+    "make_scheduler",
+    "scheduled_sptrsv",
+    "threaded_sptrsv",
+]

@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+Exposes the library's main workflows without writing Python::
+
+    python -m repro schedule  --matrix L.mtx --scheduler growlocal \
+                              --cores 8 --output sched.json
+    python -m repro solve     --matrix L.mtx --schedule sched.json
+    python -m repro simulate  --matrix L.mtx --schedule sched.json \
+                              --machine intel_xeon_6238t
+    python -m repro compare   --matrix L.mtx --cores 22
+    python -m repro generate  --kind erdos_renyi --n 10000 --p 5e-4 \
+                              --output L.mtx
+    python -m repro datasets  --name suitesparse
+    python -m repro machines
+
+Matrices are read/written in Matrix Market format; schedules in the JSON
+format of :mod:`repro.scheduler.serialize`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graph.dag import DAG
+from repro.graph.wavefront import critical_path_length
+from repro.machine.bsp_sim import simulate_bsp
+from repro.machine.model import get_machine, list_machines
+from repro.machine.serial_sim import simulate_serial
+from repro.matrix.io_mm import read_matrix_market, write_matrix_market
+from repro.scheduler.registry import available_schedulers, make_scheduler
+from repro.scheduler.serialize import (
+    load_schedule_json,
+    save_schedule_json,
+)
+from repro.solver.scheduled import scheduled_sptrsv
+from repro.solver.sptrsv import forward_substitution
+from repro.utils.timing import Timer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Efficient parallel scheduling for sparse triangular solvers "
+            "(IPDPS 2025 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="compute a schedule for a matrix")
+    p.add_argument("--matrix", required=True, help="Matrix Market file "
+                   "(lower triangle is used)")
+    p.add_argument("--scheduler", default="growlocal",
+                   choices=available_schedulers())
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--output", help="write the schedule as JSON here")
+
+    p = sub.add_parser("solve", help="solve L x = b with a schedule")
+    p.add_argument("--matrix", required=True)
+    p.add_argument("--schedule", help="JSON schedule (default: serial)")
+    p.add_argument("--rhs", help="right-hand side as a .npy file "
+                   "(default: all ones)")
+    p.add_argument("--output", help="write the solution as .npy here")
+
+    p = sub.add_parser("simulate",
+                       help="simulate a schedule on a machine model")
+    p.add_argument("--matrix", required=True)
+    p.add_argument("--schedule", required=True)
+    p.add_argument("--machine", default="intel_xeon_6238t",
+                   choices=list_machines())
+
+    p = sub.add_parser("compare",
+                       help="run all schedulers on one matrix")
+    p.add_argument("--matrix", required=True)
+    p.add_argument("--cores", type=int, default=22)
+    p.add_argument("--machine", default="intel_xeon_6238t",
+                   choices=list_machines())
+
+    p = sub.add_parser("generate", help="generate a test matrix")
+    p.add_argument("--kind", required=True,
+                   choices=["erdos_renyi", "narrow_band", "grid2d",
+                            "rcm_mesh"])
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--p", type=float, default=1e-3)
+    p.add_argument("--band", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", required=True)
+
+    p = sub.add_parser("datasets", help="show dataset statistics")
+    p.add_argument("--name", default="narrow_band")
+
+    sub.add_parser("machines", help="list machine presets")
+
+    return parser
+
+
+def _load_lower(path: str):
+    matrix = read_matrix_market(path)
+    return matrix.lower_triangle()
+
+
+def _cmd_schedule(args) -> int:
+    lower = _load_lower(args.matrix)
+    dag = DAG.from_lower_triangular(lower)
+    scheduler = make_scheduler(args.scheduler)
+    with Timer() as t:
+        schedule = scheduler.schedule(dag, args.cores)
+    schedule.validate(dag)
+    wavefronts = critical_path_length(dag)
+    print(f"matrix: n={lower.n}, nnz={lower.nnz}, "
+          f"wavefronts={wavefronts}")
+    print(f"schedule ({args.scheduler}, {args.cores} cores): "
+          f"{schedule.n_supersteps} supersteps "
+          f"({wavefronts / max(schedule.n_supersteps, 1):.2f}x barrier "
+          f"reduction) in {t.elapsed:.3f}s")
+    if args.output:
+        save_schedule_json(schedule, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    lower = _load_lower(args.matrix)
+    b = (np.load(args.rhs) if args.rhs else np.ones(lower.n))
+    if args.schedule:
+        schedule = load_schedule_json(args.schedule)
+        x = scheduled_sptrsv(lower, b, schedule)
+    else:
+        x = forward_substitution(lower, b)
+    residual = float(np.linalg.norm(lower.matvec(x) - b))
+    print(f"solved: ||L x - b|| = {residual:.3e}")
+    if args.output:
+        np.save(args.output, x)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    lower = _load_lower(args.matrix)
+    schedule = load_schedule_json(args.schedule)
+    machine = get_machine(args.machine)
+    sim = simulate_bsp(lower, schedule, machine)
+    serial = simulate_serial(lower, machine)
+    print(f"machine: {machine.name} ({schedule.n_cores} cores used)")
+    print(f"serial:   {serial:.0f} cycles")
+    print(f"parallel: {sim.total_cycles:.0f} cycles "
+          f"(compute {sim.compute_cycles:.0f}, "
+          f"barriers {sim.barrier_cycles:.0f})")
+    print(f"speed-up: {serial / sim.total_cycles:.2f}x")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments.datasets import DatasetInstance
+    from repro.experiments.runner import run_instance
+    from repro.experiments.tables import format_table
+
+    lower = _load_lower(args.matrix)
+    inst = DatasetInstance(args.matrix, lower)
+    machine = get_machine(args.machine)
+    rows = []
+    for name in available_schedulers():
+        if name == "serial":
+            continue
+        r = run_instance(inst, make_scheduler(name), machine,
+                         n_cores=args.cores)
+        rows.append([name, r.n_supersteps, f"{r.speedup:.2f}x",
+                     f"{r.scheduling_seconds:.3f}s"])
+    print(format_table(
+        ["scheduler", "supersteps", "speed-up", "sched time"], rows,
+        title=f"{args.matrix}: n={inst.n}, nnz={inst.nnz}, "
+              f"avg wf={inst.avg_wavefront:.0f}",
+    ))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.matrix.generators import (
+        erdos_renyi_lower,
+        grid_laplacian_2d,
+        narrow_band_lower,
+        rcm_mesh,
+    )
+
+    if args.kind == "erdos_renyi":
+        matrix = erdos_renyi_lower(args.n, args.p, seed=args.seed)
+    elif args.kind == "narrow_band":
+        matrix = narrow_band_lower(args.n, args.p, args.band,
+                                   seed=args.seed)
+    elif args.kind == "grid2d":
+        side = max(int(round(args.n ** 0.5)), 1)
+        matrix = grid_laplacian_2d(side, side)
+    else:  # rcm_mesh
+        width = max(int(round(args.n ** 0.5)), 1)
+        levels = max(args.n // width, 1)
+        matrix = rcm_mesh(levels, width, reach=1, lateral_prob=0.3,
+                          seed=args.seed)
+    write_matrix_market(matrix, args.output,
+                        comment=f"generated: {args.kind}")
+    print(f"wrote {args.output}: n={matrix.n}, nnz={matrix.nnz}")
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.experiments.datasets import dataset_statistics
+    from repro.experiments.tables import format_table
+
+    stats = dataset_statistics(args.name)
+    rows = [[s["matrix"], s["size"], s["nnz"], s["avg_wavefront"]]
+            for s in stats]
+    print(format_table(["matrix", "size", "#non-zeros", "avg wf"], rows,
+                       title=f"dataset: {args.name}"))
+    return 0
+
+
+def _cmd_machines(_args) -> int:
+    for name in list_machines():
+        m = get_machine(name)
+        print(f"{name}: {m.n_cores} cores, barrier {m.barrier_latency:.0f} "
+              f"cycles, miss {m.miss_penalty:.0f} cycles, "
+              f"{m.clock_ghz} GHz")
+    return 0
+
+
+_COMMANDS = {
+    "schedule": _cmd_schedule,
+    "solve": _cmd_solve,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "generate": _cmd_generate,
+    "datasets": _cmd_datasets,
+    "machines": _cmd_machines,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

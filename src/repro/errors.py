@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Finer-grained subclasses distinguish the major failure
+modes: malformed matrices, invalid schedules, and bad configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class MatrixFormatError(ReproError):
+    """A sparse matrix is malformed (bad indptr, out-of-range indices, ...)."""
+
+
+class NotTriangularError(MatrixFormatError):
+    """An operation required a (lower or upper) triangular matrix."""
+
+
+class SingularMatrixError(ReproError):
+    """A triangular solve encountered a zero (or missing) diagonal entry."""
+
+
+class InvalidScheduleError(ReproError):
+    """A schedule violates Definition 2.1 of the paper.
+
+    Either a precedence constraint ``sigma(u) <= sigma(v)`` is broken, or a
+    cross-core dependency is not separated by a synchronization barrier.
+    """
+
+
+class InvalidPartitionError(ReproError):
+    """A vertex partition is not a partition (overlap / missing vertices),
+    or violates a required structural property (e.g. not a cascade)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration (core counts, parameters, ...)."""

@@ -1,0 +1,32 @@
+"""Experiment harness: datasets, runner, metrics, tables, figures.
+
+Reproduces every table and figure of the paper's evaluation (Section 7 and
+appendices); see DESIGN.md for the experiment index and EXPERIMENTS.md for
+the recorded paper-vs-measured outcomes.
+"""
+
+from repro.experiments.datasets import (
+    DatasetInstance,
+    build_dataset,
+    dataset_names,
+)
+from repro.experiments.metrics import (
+    amortization_threshold,
+    barrier_reduction,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_instance,
+    run_suite,
+)
+
+__all__ = [
+    "DatasetInstance",
+    "ExperimentResult",
+    "amortization_threshold",
+    "barrier_reduction",
+    "build_dataset",
+    "dataset_names",
+    "run_instance",
+    "run_suite",
+]

@@ -1,0 +1,106 @@
+"""Figure data series for the paper's plots.
+
+Figures are emitted as numeric series (x, y per algorithm) rather than
+rendered images — matplotlib is intentionally not a dependency.  Each
+function returns exactly the series a plotting script would need to
+regenerate the corresponding figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResult
+from repro.utils.stats import (
+    geometric_mean,
+    interquartile_range,
+    performance_profile,
+)
+
+__all__ = [
+    "figure_1_2_series",
+    "figure_7_1_series",
+    "figure_7_2_series",
+    "figure_b1_series",
+]
+
+
+def figure_1_2_series(
+    results: dict[str, list[ExperimentResult]],
+) -> dict[str, dict[str, float]]:
+    """Figure 1.2: geomean speed-up + IQR per algorithm."""
+    out: dict[str, dict[str, float]] = {}
+    for name, rows in results.items():
+        speedups = [r.speedup for r in rows]
+        q25, q75 = interquartile_range(speedups)
+        out[name] = {
+            "geomean": geometric_mean(speedups),
+            "q25": q25,
+            "q75": q75,
+        }
+    return out
+
+
+def figure_7_1_series(
+    results: dict[str, list[ExperimentResult]],
+    *,
+    thresholds: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
+    """Figure 7.1: Dolan-More performance profiles of parallel times."""
+    times = {
+        name: [r.parallel_cycles for r in rows]
+        for name, rows in results.items()
+    }
+    return performance_profile(times, thresholds)
+
+
+def figure_7_2_series(
+    per_core_results: dict[int, list[ExperimentResult]],
+    instance_avg_wavefronts: list[float],
+    wavefront_groups: list[tuple[float, float]],
+) -> dict[str, dict[int, float]]:
+    """Figure 7.2: geomean speed-up vs core count, grouped by avg wavefront.
+
+    Parameters
+    ----------
+    per_core_results:
+        ``{n_cores: [results, one per instance in order]}`` for one
+        scheduler.
+    instance_avg_wavefronts:
+        Average wavefront size of each instance, aligned with the result
+        lists.
+    wavefront_groups:
+        ``(lo, hi)`` half-open ranges of average wavefront size (the
+        paper's buckets 44-127 / 128-1200 / >50000, rescaled to the proxy
+        sizes).
+    """
+    out: dict[str, dict[int, float]] = {}
+    wf = np.asarray(instance_avg_wavefronts, dtype=np.float64)
+    for lo, hi in wavefront_groups:
+        label = (
+            f"{lo:.0f}-{hi:.0f}" if np.isfinite(hi) else f">{lo:.0f}"
+        )
+        mask = (wf >= lo) & (wf < hi)
+        series: dict[int, float] = {}
+        for cores, rows in per_core_results.items():
+            if len(rows) != wf.size:
+                raise ValueError(
+                    "results must align with instance_avg_wavefronts"
+                )
+            grouped = [r.speedup for r, m in zip(rows, mask) if m]
+            if grouped:
+                series[cores] = geometric_mean(grouped)
+        out[label] = series
+    return out
+
+
+def figure_b1_series(
+    nnz_values: list[int],
+    sched_seconds: list[float],
+) -> dict[str, np.ndarray]:
+    """Figure B.1: scheduling time vs nnz, plus the best log-log linear fit
+    with unit slope (``log y = log x + c``)."""
+    x = np.asarray(nnz_values, dtype=np.float64)
+    y = np.asarray(sched_seconds, dtype=np.float64)
+    c = float(np.mean(np.log(y) - np.log(x)))
+    return {"nnz": x, "seconds": y, "fit_seconds": np.exp(np.log(x) + c)}

@@ -1,0 +1,50 @@
+"""Derived metrics of the evaluation (Sections 7.2, 7.7).
+
+* barrier reduction relative to the wavefront count (Table 7.2);
+* the amortization threshold (Eq. 7.1, Table 7.6):
+  ``scheduling_time / (serial_time - parallel_time)``, i.e. how many solves
+  must reuse a schedule before computing it pays off (infinity when the
+  parallel execution is not faster than serial — footnote 6).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["amortization_threshold", "barrier_reduction", "flops_per_cycle"]
+
+
+def barrier_reduction(n_wavefronts: int, n_supersteps: int) -> float:
+    """``#wavefronts / #supersteps`` — how many fewer barriers a schedule
+    needs compared to the wavefront schedule of the same DAG (Table 7.2)."""
+    if n_wavefronts < 1 or n_supersteps < 1:
+        raise ConfigurationError("counts must be positive")
+    return n_wavefronts / n_supersteps
+
+
+def amortization_threshold(
+    scheduling_time: float,
+    serial_time: float,
+    parallel_time: float,
+) -> float:
+    """Eq. 7.1: solves needed to amortize the scheduling time.
+
+    All three arguments must be in the same unit (seconds).  Returns
+    ``math.inf`` when the parallel execution is not faster than serial.
+    """
+    if scheduling_time < 0 or serial_time < 0 or parallel_time < 0:
+        raise ConfigurationError("times must be non-negative")
+    gain = serial_time - parallel_time
+    if gain <= 0.0:
+        return math.inf
+    return scheduling_time / gain
+
+
+def flops_per_cycle(flops: int, cycles: float) -> float:
+    """Double-precision flops per simulated cycle (Table 7.7's Flops/s up
+    to the clock constant)."""
+    if cycles <= 0:
+        raise ConfigurationError("cycles must be positive")
+    return flops / cycles

@@ -1,0 +1,176 @@
+"""Experiment runner: schedule an instance, simulate, collect metrics.
+
+One :func:`run_instance` call reproduces the full measurement pipeline of
+Section 6.1 for one (matrix, scheduler, machine) triple:
+
+1. compute the schedule (wall-clock timed — the scheduling-time numerator
+   of the amortization threshold, Eq. 7.1);
+2. optionally apply the locality reordering of Section 5 (GrowLocal's
+   default configuration; the baselines do not reorder, matching the
+   paper);
+3. simulate the parallel execution (BSP simulator, or the event-driven
+   asynchronous simulator for SpMP) and the serial execution;
+4. derive speed-up, barrier reduction, flop rate and amortization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.datasets import DatasetInstance
+from repro.experiments.metrics import (
+    amortization_threshold,
+    barrier_reduction,
+    flops_per_cycle,
+)
+from repro.machine.async_sim import simulate_async
+from repro.machine.bsp_sim import simulate_bsp
+from repro.machine.model import MachineModel
+from repro.machine.serial_sim import simulate_serial
+from repro.scheduler.base import Scheduler
+from repro.scheduler.reorder import schedule_reordering
+from repro.matrix.permute import permute_symmetric
+from repro.utils.timing import Timer
+
+__all__ = ["ExperimentResult", "run_instance", "run_suite",
+           "REORDERING_SCHEDULERS"]
+
+#: Schedulers that include the Section 5 reordering step by default
+#: (the paper applies it to its own algorithms, not to the baselines).
+REORDERING_SCHEDULERS = ("growlocal", "funnel+gl")
+
+
+@dataclass
+class ExperimentResult:
+    """All metrics of one (instance, scheduler, machine) run."""
+
+    instance: str
+    scheduler: str
+    machine: str
+    n_cores: int
+    speedup: float
+    serial_cycles: float
+    parallel_cycles: float
+    n_supersteps: int
+    n_wavefronts: int
+    barrier_reduction: float
+    scheduling_seconds: float
+    amortization: float
+    flops_per_cycle: float
+    reordered: bool
+
+    def as_row(self) -> dict[str, object]:
+        """Plain-dict view for table emitters."""
+        return dict(self.__dict__)
+
+
+def run_instance(
+    inst: DatasetInstance,
+    scheduler: Scheduler,
+    machine: MachineModel,
+    *,
+    n_cores: int | None = None,
+    reorder: bool | None = None,
+) -> ExperimentResult:
+    """Measure one scheduler on one instance under one machine model.
+
+    Parameters
+    ----------
+    n_cores:
+        Cores to schedule for; defaults to (and is capped at) the machine's
+        core count.
+    reorder:
+        Apply the Section 5 reordering.  ``None`` selects the paper's
+        default: on for GrowLocal/Funnel+GL (and block wrappers around
+        them), off for the baselines.
+    """
+    cores = machine.n_cores if n_cores is None else min(n_cores,
+                                                        machine.n_cores)
+    if reorder is None:
+        reorder = any(tag in scheduler.name for tag in REORDERING_SCHEDULERS)
+
+    with Timer() as timer:
+        schedule = scheduler.schedule(inst.dag, cores)
+
+    exec_matrix = inst.lower
+    exec_schedule = schedule
+    if reorder and scheduler.execution_mode == "bsp":
+        perm = schedule_reordering(schedule)
+        exec_matrix = permute_symmetric(inst.lower, perm)
+        exec_schedule = schedule.reorder_vertices(perm)
+
+    if scheduler.execution_mode == "async":
+        sync_dag = getattr(scheduler, "sync_dag", None) or inst.dag
+        sim = simulate_async(exec_matrix, exec_schedule, sync_dag, machine)
+        parallel_cycles = sim.total_cycles
+    else:
+        sim = simulate_bsp(exec_matrix, exec_schedule, machine)
+        parallel_cycles = sim.total_cycles
+
+    serial_cycles = simulate_serial(inst.lower, machine)
+    sched_seconds = timer.elapsed
+    serial_seconds = machine.cycles_to_seconds(serial_cycles)
+    parallel_seconds = machine.cycles_to_seconds(parallel_cycles)
+
+    return ExperimentResult(
+        instance=inst.name,
+        scheduler=scheduler.name,
+        machine=machine.name,
+        n_cores=cores,
+        speedup=serial_cycles / parallel_cycles,
+        serial_cycles=serial_cycles,
+        parallel_cycles=parallel_cycles,
+        n_supersteps=schedule.n_supersteps,
+        n_wavefronts=inst.n_wavefronts,
+        barrier_reduction=barrier_reduction(
+            inst.n_wavefronts, max(schedule.n_supersteps, 1)
+        ),
+        scheduling_seconds=sched_seconds,
+        amortization=amortization_threshold(
+            sched_seconds, serial_seconds, parallel_seconds
+        ),
+        flops_per_cycle=flops_per_cycle(inst.flops, parallel_cycles),
+        reordered=bool(reorder and scheduler.execution_mode == "bsp"),
+    )
+
+
+def run_suite(
+    instances: tuple[DatasetInstance, ...] | list[DatasetInstance],
+    schedulers: dict[str, Scheduler],
+    machine: MachineModel,
+    *,
+    n_cores: int | None = None,
+    reorder: bool | None = None,
+) -> dict[str, list[ExperimentResult]]:
+    """Run every scheduler on every instance; returns results grouped by
+    scheduler name (aligned with the instance order)."""
+    out: dict[str, list[ExperimentResult]] = {name: [] for name in schedulers}
+    for inst in instances:
+        for name, scheduler in schedulers.items():
+            out[name].append(
+                run_instance(
+                    inst, scheduler, machine,
+                    n_cores=n_cores, reorder=reorder,
+                )
+            )
+    return out
+
+
+def geomean_speedups(
+    results: dict[str, list[ExperimentResult]],
+) -> dict[str, float]:
+    """Geometric-mean speed-up per scheduler (the Table 7.1 aggregation)."""
+    from repro.utils.stats import geometric_mean
+
+    return {
+        name: geometric_mean([r.speedup for r in rows])
+        for name, rows in results.items()
+        if rows
+    }
+
+
+def speedup_array(results: list[ExperimentResult]) -> np.ndarray:
+    """Speed-ups of a result list as an array (figure helpers)."""
+    return np.array([r.speedup for r in results], dtype=np.float64)

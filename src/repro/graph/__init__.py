@@ -1,0 +1,30 @@
+"""DAG substrate: dependence graphs of triangular solves.
+
+A lower-triangular matrix ``L`` induces a DAG with one vertex per row and an
+edge ``(j, i)`` for every strict-lower non-zero ``L[i, j]`` (Figure 1.1 of
+the paper).  This package provides the DAG container, topological sorting,
+wavefront (level-set) analysis, approximate transitive reduction, and the
+acyclicity-preserving coarsening machinery of Section 4.
+"""
+
+from repro.graph.dag import DAG
+from repro.graph.profile import profile_statistics, wavefront_profile
+from repro.graph.toposort import is_topological_order, topological_order
+from repro.graph.transitive import approximate_transitive_reduction
+from repro.graph.wavefront import (
+    average_wavefront_size,
+    critical_path_length,
+    wavefronts,
+)
+
+__all__ = [
+    "DAG",
+    "approximate_transitive_reduction",
+    "average_wavefront_size",
+    "critical_path_length",
+    "is_topological_order",
+    "profile_statistics",
+    "topological_order",
+    "wavefront_profile",
+    "wavefronts",
+]

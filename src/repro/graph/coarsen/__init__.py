@@ -1,0 +1,34 @@
+"""Acyclicity-preserving DAG coarsening (Section 4 of the paper).
+
+* :mod:`~repro.graph.coarsen.cascade` — the cascade predicate
+  (Definition 4.2) and a checker for Proposition 4.3's hypothesis;
+* :mod:`~repro.graph.coarsen.funnel` — in-/out-funnel partitioning
+  (Definition 4.4, Algorithm 4.1) with the size/weight constraint of
+  Section 4.2;
+* :mod:`~repro.graph.coarsen.quotient` — the coarsened graph ``G // P``
+  (Definition 4.1);
+* :mod:`~repro.graph.coarsen.pullback` — expanding a schedule of the coarse
+  graph back onto the original vertices.
+"""
+
+from repro.graph.coarsen.cascade import is_cascade, is_cascade_partition
+from repro.graph.coarsen.funnel import (
+    funnel_partition,
+    in_funnel_partition,
+    is_in_funnel,
+    out_funnel_partition,
+)
+from repro.graph.coarsen.pullback import pull_back_schedule
+from repro.graph.coarsen.quotient import coarsen, partition_from_parts
+
+__all__ = [
+    "coarsen",
+    "funnel_partition",
+    "in_funnel_partition",
+    "is_cascade",
+    "is_cascade_partition",
+    "is_in_funnel",
+    "out_funnel_partition",
+    "partition_from_parts",
+    "pull_back_schedule",
+]

@@ -1,0 +1,44 @@
+"""Pulling a coarse-graph schedule back to the original DAG.
+
+After scheduling the coarsened graph, the schedule is "pulled back to the
+original graph to obtain the final schedule" (Section 1.1.2): every fine
+vertex inherits the core and superstep of its part.  Because parts are
+cascades contracted into single vertices, all precedence constraints of
+Definition 2.1 remain satisfied — intra-part edges stay on one core within
+one superstep, and inter-part edges inherit the coarse schedule's validity.
+"""
+
+from __future__ import annotations
+
+from repro.graph.coarsen.quotient import CoarseningResult
+
+__all__ = ["pull_back_schedule"]
+
+
+def pull_back_schedule(coarsening: CoarseningResult, coarse_schedule):
+    """Expand a :class:`~repro.scheduler.schedule.Schedule` of the coarse
+    DAG onto the fine DAG.
+
+    Parameters
+    ----------
+    coarsening:
+        Result of :func:`repro.graph.coarsen.quotient.coarsen`.
+    coarse_schedule:
+        Schedule of ``coarsening.coarse``.
+
+    Returns
+    -------
+    Schedule
+        Schedule of the fine DAG with ``pi(v) = pi(part(v))`` and
+        ``sigma(v) = sigma(part(v))``.
+    """
+    # Imported here to keep the graph package importable without the
+    # scheduler package (and to avoid an import cycle).
+    from repro.scheduler.schedule import Schedule
+
+    part_of = coarsening.part_of
+    return Schedule(
+        cores=coarse_schedule.cores[part_of],
+        supersteps=coarse_schedule.supersteps[part_of],
+        n_cores=coarse_schedule.n_cores,
+    )

@@ -1,0 +1,67 @@
+"""Topological sorting (Kahn's algorithm) and order validation.
+
+Kahn's algorithm [Kah62] is the ``O(|V| + |E|)`` toposort the coarsening
+algorithm of the paper (Algorithm 4.1) builds on.  ``topological_order``
+also serves as an acyclicity check: a graph with a cycle yields an
+incomplete order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import InvalidPartitionError
+from repro.graph.dag import DAG
+
+__all__ = ["topological_order", "is_topological_order", "is_acyclic"]
+
+
+def topological_order(dag: DAG) -> np.ndarray:
+    """Kahn topological order (smallest-index-first tie-breaking).
+
+    Raises
+    ------
+    InvalidPartitionError
+        If the graph contains a cycle (possible for quotient graphs built
+        from non-cascade partitions).
+    """
+    indeg = dag.in_degrees().copy()
+    queue: deque[int] = deque(int(v) for v in np.nonzero(indeg == 0)[0])
+    order = np.empty(dag.n, dtype=np.int64)
+    count = 0
+    while queue:
+        u = queue.popleft()
+        order[count] = u
+        count += 1
+        for v in dag.children(u):
+            v = int(v)
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    if count != dag.n:
+        raise InvalidPartitionError("graph contains a cycle")
+    return order
+
+
+def is_acyclic(dag: DAG) -> bool:
+    """True iff the directed graph has no cycle."""
+    try:
+        topological_order(dag)
+        return True
+    except InvalidPartitionError:
+        return False
+
+
+def is_topological_order(dag: DAG, order: np.ndarray) -> bool:
+    """True iff ``order`` lists every vertex once with all edges forward."""
+    order = np.asarray(order, dtype=np.int64)
+    if order.size != dag.n:
+        return False
+    position = np.full(dag.n, -1, dtype=np.int64)
+    position[order] = np.arange(dag.n, dtype=np.int64)
+    if np.any(position < 0):
+        return False
+    src, dst = dag.edges()
+    return bool(np.all(position[src] < position[dst]))

@@ -1,0 +1,22 @@
+"""Serial execution model: the denominator of every speed-up.
+
+The serial kernel sweeps rows ``0..n-1`` in storage order — perfect matrix
+streaming and whatever x-vector locality the ordering provides — with no
+synchronization of any kind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.cache import row_costs_for_sequence
+from repro.machine.model import MachineModel
+from repro.matrix.csr import CSRMatrix
+
+__all__ = ["simulate_serial"]
+
+
+def simulate_serial(lower: CSRMatrix, machine: MachineModel) -> float:
+    """Simulated cycles of one serial forward substitution."""
+    seq = np.arange(lower.n, dtype=np.int64)
+    return float(row_costs_for_sequence(lower, seq, machine).sum())

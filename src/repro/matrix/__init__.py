@@ -1,0 +1,37 @@
+"""Sparse-matrix substrate: CSR storage, generators, orderings, IC(0).
+
+This package implements everything the paper's pipeline needs from a sparse
+matrix library: a validated CSR container (:class:`~repro.matrix.csr.CSRMatrix`),
+a COO assembly builder, Matrix-Market I/O, symmetric permutations,
+dataset generators (Erdős–Rényi, narrow-bandwidth, FEM-grid proxies),
+fill-reducing orderings (RCM, minimum degree, nested dissection) and an
+IC(0) incomplete Cholesky factorization.
+"""
+
+from repro.matrix.coo import COOBuilder
+from repro.matrix.csr import CSRMatrix
+from repro.matrix.ichol import ichol0
+from repro.matrix.ilu import ilu0
+from repro.matrix.permute import (
+    inverse_permutation,
+    is_permutation,
+    permute_symmetric,
+)
+from repro.matrix.properties import (
+    bandwidth,
+    is_structurally_symmetric,
+    lower_profile,
+)
+
+__all__ = [
+    "COOBuilder",
+    "CSRMatrix",
+    "ichol0",
+    "ilu0",
+    "inverse_permutation",
+    "is_permutation",
+    "permute_symmetric",
+    "bandwidth",
+    "is_structurally_symmetric",
+    "lower_profile",
+]

@@ -1,0 +1,72 @@
+"""Incremental COO (coordinate) assembly builder.
+
+Generators and factorizations assemble matrices entry-by-entry or in chunks;
+``COOBuilder`` accumulates triplets in growable buffers and finalizes into a
+:class:`~repro.matrix.csr.CSRMatrix`.  Appending is amortized O(1) per chunk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+from repro.matrix.csr import CSRMatrix
+
+__all__ = ["COOBuilder"]
+
+
+class COOBuilder:
+    """Accumulates (row, col, value) triplets for a square ``n x n`` matrix."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise MatrixFormatError("matrix dimension must be non-negative")
+        self.n = int(n)
+        self._rows: list[np.ndarray] = []
+        self._cols: list[np.ndarray] = []
+        self._vals: list[np.ndarray] = []
+
+    def add(self, row: int, col: int, val: float) -> None:
+        """Append a single entry."""
+        self.add_batch(
+            np.array([row], dtype=np.int64),
+            np.array([col], dtype=np.int64),
+            np.array([val], dtype=np.float64),
+        )
+
+    def add_batch(
+        self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+    ) -> None:
+        """Append a chunk of entries (validated lazily at finalize)."""
+        r = np.asarray(rows, dtype=np.int64).ravel()
+        c = np.asarray(cols, dtype=np.int64).ravel()
+        v = np.asarray(vals, dtype=np.float64).ravel()
+        if not (r.size == c.size == v.size):
+            raise MatrixFormatError("batch arrays must have equal length")
+        self._rows.append(r)
+        self._cols.append(c)
+        self._vals.append(v)
+
+    def add_diagonal(self, vals: np.ndarray) -> None:
+        """Append the full diagonal."""
+        v = np.asarray(vals, dtype=np.float64).ravel()
+        if v.size != self.n:
+            raise MatrixFormatError("diagonal length must equal n")
+        idx = np.arange(self.n, dtype=np.int64)
+        self.add_batch(idx, idx, v)
+
+    @property
+    def entry_count(self) -> int:
+        """Number of accumulated triplets (duplicates not yet merged)."""
+        return int(sum(a.size for a in self._rows))
+
+    def build(self, *, sum_duplicates: bool = True) -> CSRMatrix:
+        """Finalize into a CSR matrix (duplicates summed by default)."""
+        if not self._rows:
+            return CSRMatrix.from_coo(self.n, [], [], [])
+        rows = np.concatenate(self._rows)
+        cols = np.concatenate(self._cols)
+        vals = np.concatenate(self._vals)
+        return CSRMatrix.from_coo(
+            self.n, rows, cols, vals, sum_duplicates=sum_duplicates
+        )

@@ -1,0 +1,303 @@
+"""Compressed sparse row (CSR) matrix container.
+
+The paper stores triangular matrices in CSR format (Section 6.1, [TW67]) and
+its SpTRSV kernel iterates rows in order.  This module provides a small,
+validated CSR container used throughout the library instead of
+``scipy.sparse`` so the whole substrate is self-contained; conversion helpers
+to/from SciPy are provided for interoperability and for test oracles.
+
+Indices within each row are kept sorted and duplicate-free; this invariant is
+checked on construction and relied upon by the solver and DAG builder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import MatrixFormatError, NotTriangularError
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """A square sparse matrix in CSR format.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension (the library only needs square matrices).
+    indptr:
+        ``int64`` array of length ``n + 1``; row ``i`` occupies
+        ``indices[indptr[i]:indptr[i+1]]``.
+    indices:
+        Column indices, sorted and unique within each row.
+    data:
+        Numerical values, same length as ``indices``.
+    check:
+        When true (default) the structure is validated; pass ``False`` only
+        for internal construction from already-validated arrays.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        n: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        check: bool = True,
+    ) -> None:
+        self.n = int(n)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        if check:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        n: int,
+        rows: Iterable[int],
+        cols: Iterable[int],
+        vals: Iterable[float],
+        *,
+        sum_duplicates: bool = True,
+    ) -> "CSRMatrix":
+        """Build from coordinate triplets; duplicates are summed by default."""
+        r = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows,
+                       dtype=np.int64)
+        c = np.asarray(list(cols) if not isinstance(cols, np.ndarray) else cols,
+                       dtype=np.int64)
+        v = np.asarray(list(vals) if not isinstance(vals, np.ndarray) else vals,
+                       dtype=np.float64)
+        if not (r.shape == c.shape == v.shape):
+            raise MatrixFormatError("rows/cols/vals must have equal length")
+        if r.size and (r.min() < 0 or r.max() >= n or c.min() < 0 or c.max() >= n):
+            raise MatrixFormatError("coordinate out of range")
+        order = np.lexsort((c, r))
+        r, c, v = r[order], c[order], v[order]
+        if r.size:
+            dup = np.zeros(r.size, dtype=bool)
+            dup[1:] = (r[1:] == r[:-1]) & (c[1:] == c[:-1])
+            if dup.any():
+                if not sum_duplicates:
+                    raise MatrixFormatError("duplicate coordinates")
+                # segment-sum duplicate runs onto their first element
+                keep = ~dup
+                group = np.cumsum(keep) - 1
+                summed = np.zeros(int(group[-1]) + 1, dtype=np.float64)
+                np.add.at(summed, group, v)
+                r, c, v = r[keep], c[keep], summed
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, r + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(n, indptr, c, v, check=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a dense 2-D square array, dropping explicit zeros."""
+        a = np.asarray(dense, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise MatrixFormatError("from_dense expects a square 2-D array")
+        rows, cols = np.nonzero(a)
+        return cls.from_coo(a.shape[0], rows, cols, a[rows, cols])
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Build from any ``scipy.sparse`` matrix (converted to CSR)."""
+        import scipy.sparse as sp
+
+        m = sp.csr_matrix(mat)
+        if m.shape[0] != m.shape[1]:
+            raise MatrixFormatError("from_scipy expects a square matrix")
+        m.sum_duplicates()
+        m.sort_indices()
+        m.eliminate_zeros()
+        return cls(
+            m.shape[0],
+            m.indptr.astype(np.int64),
+            m.indices.astype(np.int64),
+            m.data.astype(np.float64),
+            check=False,
+        )
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """The ``n x n`` identity matrix."""
+        idx = np.arange(n, dtype=np.int64)
+        return cls(n, np.arange(n + 1, dtype=np.int64), idx,
+                   np.ones(n), check=False)
+
+    # ------------------------------------------------------------------
+    # validation & basic properties
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.indptr.shape != (self.n + 1,):
+            raise MatrixFormatError("indptr must have length n + 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise MatrixFormatError("indptr endpoints inconsistent with nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise MatrixFormatError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise MatrixFormatError("indices/data length mismatch")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= self.n:
+                raise MatrixFormatError("column index out of range")
+            # sorted + unique within each row: strictly increasing except at
+            # row boundaries.
+            diff = np.diff(self.indices)
+            boundary = np.zeros(self.indices.size - 1, dtype=bool)
+            inner = self.indptr[1:-1]
+            boundary[inner[(inner > 0) & (inner < self.indices.size)] - 1] = True
+            if np.any((diff <= 0) & ~boundary):
+                raise MatrixFormatError("row indices must be sorted and unique")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row stored-entry counts (the DAG vertex weights)."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(columns, values)`` views of row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def diagonal(self) -> np.ndarray:
+        """Dense diagonal (zeros where the diagonal entry is not stored)."""
+        d = np.zeros(self.n)
+        for i in range(self.n):
+            cols, vals = self.row(i)
+            pos = np.searchsorted(cols, i)
+            if pos < cols.size and cols[pos] == i:
+                d[i] = vals[pos]
+        return d
+
+    # ------------------------------------------------------------------
+    # structure predicates
+    # ------------------------------------------------------------------
+    def is_lower_triangular(self, *, strict: bool = False) -> bool:
+        """True if all entries satisfy ``col <= row`` (``<`` when strict)."""
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.row_nnz())
+        if strict:
+            return bool(np.all(self.indices < rows))
+        return bool(np.all(self.indices <= rows))
+
+    def is_upper_triangular(self, *, strict: bool = False) -> bool:
+        """True if all entries satisfy ``col >= row`` (``>`` when strict)."""
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.row_nnz())
+        if strict:
+            return bool(np.all(self.indices > rows))
+        return bool(np.all(self.indices >= rows))
+
+    def has_full_diagonal(self) -> bool:
+        """True if every row stores a (possibly zero-valued) diagonal entry."""
+        for i in range(self.n):
+            cols = self.indices[self.indptr[i]:self.indptr[i + 1]]
+            pos = np.searchsorted(cols, i)
+            if pos >= cols.size or cols[pos] != i:
+                return False
+        return True
+
+    def require_lower_triangular(self) -> None:
+        """Raise :class:`NotTriangularError` unless lower triangular."""
+        if not self.is_lower_triangular():
+            raise NotTriangularError("matrix is not lower triangular")
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose as a new CSR matrix (i.e., CSC of self)."""
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.row_nnz())
+        return CSRMatrix.from_coo(self.n, self.indices, rows, self.data)
+
+    def lower_triangle(self, *, keep_diagonal: bool = True) -> "CSRMatrix":
+        """Extract the lower triangle (``col <= row``; ``<`` if not keeping
+        the diagonal) as a new matrix."""
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.row_nnz())
+        mask = self.indices <= rows if keep_diagonal else self.indices < rows
+        return CSRMatrix.from_coo(
+            self.n, rows[mask], self.indices[mask], self.data[mask]
+        )
+
+    def upper_triangle(self, *, keep_diagonal: bool = True) -> "CSRMatrix":
+        """Extract the upper triangle as a new matrix."""
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.row_nnz())
+        mask = self.indices >= rows if keep_diagonal else self.indices > rows
+        return CSRMatrix.from_coo(
+            self.n, rows[mask], self.indices[mask], self.data[mask]
+        )
+
+    def with_unit_diagonal(self) -> "CSRMatrix":
+        """Return a copy whose diagonal entries are all set to one,
+        inserting missing diagonal entries."""
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.row_nnz())
+        off = self.indices != rows
+        r = np.concatenate([rows[off], np.arange(self.n, dtype=np.int64)])
+        c = np.concatenate([self.indices[off], np.arange(self.n, dtype=np.int64)])
+        v = np.concatenate([self.data[off], np.ones(self.n)])
+        return CSRMatrix.from_coo(self.n, r, c, v)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix-vector product ``A @ x`` (vectorized)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise MatrixFormatError("matvec dimension mismatch")
+        prod = self.data * x[self.indices]
+        out = np.zeros(self.n)
+        # segment sum per row
+        np.add.at(out, np.repeat(np.arange(self.n), self.row_nnz()), prod)
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense ``(n, n)`` array."""
+        out = np.zeros((self.n, self.n))
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.row_nnz())
+        out[rows, self.indices] = self.data
+        return out
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix``."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.data, self.indices, self.indptr), shape=(self.n, self.n)
+        )
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.allclose(self.data, other.data)
+        )
+
+    def __hash__(self) -> int:  # mutable arrays -> identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(n={self.n}, nnz={self.nnz})"

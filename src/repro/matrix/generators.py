@@ -1,0 +1,554 @@
+"""Sparse matrix generators for all five evaluation datasets.
+
+Implements the random matrix families of Sections 6.2.4 (Erdős–Rényi) and
+6.2.5 (narrow bandwidth) with exactly the entry-value distributions the
+paper specifies, plus synthetic FEM/structural proxies that stand in for the
+SuiteSparse SPD collection (Table A.1), which is not available offline:
+
+* 2-D five-/nine-point and 3-D seven-point grid Laplacians — the canonical
+  finite-element/finite-difference patterns behind matrices like
+  ``ecology2``, ``apache2``, ``thermal2``;
+* banded block "shell" matrices mimicking structural-mechanics problems
+  (``af_shell7``, ``s3dkt3m2``);
+* random SPD-like matrices with geometric (distance-based) sparsity.
+
+All generators return a full symmetric (or general) :class:`CSRMatrix`; the
+experiment pipeline takes lower triangles where required, as the paper does.
+Every generator is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.matrix.csr import CSRMatrix
+
+__all__ = [
+    "erdos_renyi_lower",
+    "narrow_band_lower",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "grid_laplacian_9pt",
+    "shell_block_banded",
+    "random_geometric_spd",
+    "random_values_lower",
+    "arrow_matrix",
+    "banded_stencil_lower",
+    "kron_expand",
+    "parabolic_like",
+    "rcm_mesh",
+    "spd_from_edges",
+]
+
+
+def _diag_values(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Diagonal distribution of Section 6.2.4: absolute value log-uniform in
+    ``[1/2, 2]``, sign uniform, avoiding values near zero."""
+    mag = np.exp(rng.uniform(np.log(0.5), np.log(2.0), size=n))
+    sign = rng.choice([-1.0, 1.0], size=n)
+    return mag * sign
+
+
+def _offdiag_values(m: int, rng: np.random.Generator) -> np.ndarray:
+    """Off-diagonal distribution of Section 6.2.4: uniform in ``[-2, 2]``."""
+    return rng.uniform(-2.0, 2.0, size=m)
+
+
+def random_values_lower(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    *,
+    seed: int | None = None,
+) -> CSRMatrix:
+    """Assemble a lower-triangular matrix from a strict-lower pattern,
+    filling values with the paper's distributions and adding a full
+    diagonal.
+
+    Parameters
+    ----------
+    n:
+        Dimension.
+    rows, cols:
+        Strict lower-triangular coordinates (``rows > cols`` elementwise).
+    seed:
+        RNG seed for the entry values.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.size and not np.all(rows > cols):
+        raise ConfigurationError("pattern must be strictly lower triangular")
+    rng = np.random.default_rng(seed)
+    diag_idx = np.arange(n, dtype=np.int64)
+    all_rows = np.concatenate([rows, diag_idx])
+    all_cols = np.concatenate([cols, diag_idx])
+    all_vals = np.concatenate(
+        [_offdiag_values(rows.size, rng), _diag_values(n, rng)]
+    )
+    return CSRMatrix.from_coo(n, all_rows, all_cols, all_vals)
+
+
+def erdos_renyi_lower(
+    n: int, p: float, *, seed: int | None = None
+) -> CSRMatrix:
+    """Erdős–Rényi lower-triangular matrix (Section 6.2.4).
+
+    Each strict-lower entry ``(i, j)``, ``i > j``, is present independently
+    with probability ``p``.  Values follow the paper's distributions; the
+    diagonal is always present.
+
+    The expected strict-lower nnz is ``p * n * (n - 1) / 2``; the pattern is
+    sampled without materializing the dense triangle by drawing, for each
+    row ``i``, a Binomial(i, p) count of columns uniformly without
+    replacement.
+    """
+    if not (0.0 <= p <= 1.0):
+        raise ConfigurationError("probability p must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    counts = rng.binomial(np.arange(n), p)
+    total = int(counts.sum())
+    rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+    cols = np.empty(total, dtype=np.int64)
+    pos = 0
+    for i in range(n):
+        k = counts[i]
+        if k:
+            cols[pos:pos + k] = rng.choice(i, size=k, replace=False)
+            pos += k
+    return random_values_lower(n, rows, cols, seed=rng.integers(2**63))
+
+
+def narrow_band_lower(
+    n: int, p: float, band: float, *, seed: int | None = None
+) -> CSRMatrix:
+    """Narrow-bandwidth random lower-triangular matrix (Section 6.2.5).
+
+    Entry ``(i, j)``, ``i > j``, is present with probability
+    ``p * exp((1 + j - i) / B)``, concentrating non-zeros near the diagonal.
+    These DAGs are hard to parallelize (long chains) but have good locality.
+    """
+    if p < 0:
+        raise ConfigurationError("p must be non-negative")
+    if band <= 0:
+        raise ConfigurationError("band B must be positive")
+    rng = np.random.default_rng(seed)
+    # Probability decays below ~1e-9 at distance d where p*exp((1-d)/B) is
+    # negligible; restrict sampling to that window for efficiency.
+    max_dist = int(np.ceil(1.0 + band * (np.log(max(p, 1e-300)) + 21.0)))
+    max_dist = max(1, min(n - 1, max_dist))
+    rows_list: list[np.ndarray] = []
+    cols_list: list[np.ndarray] = []
+    # Vectorize over distance d = i - j: all pairs at distance d share the
+    # same inclusion probability.
+    for d in range(1, max_dist + 1):
+        prob = p * np.exp((1.0 - d) / band)
+        if prob <= 0.0:
+            break
+        prob = min(prob, 1.0)
+        m = n - d
+        mask = rng.random(m) < prob
+        if mask.any():
+            j = np.nonzero(mask)[0].astype(np.int64)
+            rows_list.append(j + d)
+            cols_list.append(j)
+    rows = (np.concatenate(rows_list) if rows_list
+            else np.empty(0, dtype=np.int64))
+    cols = (np.concatenate(cols_list) if cols_list
+            else np.empty(0, dtype=np.int64))
+    return random_values_lower(n, rows, cols, seed=rng.integers(2**63))
+
+
+def spd_from_edges(n: int, ei: np.ndarray, ej: np.ndarray) -> CSRMatrix:
+    """Symmetric positive-definite matrix from an undirected edge pattern:
+    off-diagonals -1, diagonal = degree + 1 (strictly diagonally dominant,
+    hence SPD).  Public building block for pattern-first generators."""
+    return _laplacian_from_edges(
+        n, np.asarray(ei, dtype=np.int64), np.asarray(ej, dtype=np.int64)
+    )
+
+
+def _laplacian_from_edges(
+    n: int, ei: np.ndarray, ej: np.ndarray, *, weight: float = -1.0
+) -> CSRMatrix:
+    """SPD graph Laplacian-like matrix from an undirected edge list:
+    off-diagonals ``weight``, diagonal = degree + 1 (diagonally dominant)."""
+    rows = np.concatenate([ei, ej])
+    cols = np.concatenate([ej, ei])
+    vals = np.full(rows.size, weight)
+    deg = np.zeros(n)
+    np.add.at(deg, rows, 1.0)
+    diag_idx = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([rows, diag_idx])
+    cols = np.concatenate([cols, diag_idx])
+    vals = np.concatenate([vals, deg * abs(weight) + 1.0])
+    return CSRMatrix.from_coo(n, rows, cols, vals)
+
+
+def grid_laplacian_2d(nx: int, ny: int) -> CSRMatrix:
+    """Five-point stencil Laplacian on an ``nx x ny`` grid (SPD, symmetric).
+
+    Natural row-major ordering; the lower triangle's wavefronts are the grid
+    anti-diagonals, giving an average wavefront size of roughly
+    ``nx*ny / (nx+ny)`` — the moderate-parallelism regime of Table A.1.
+    """
+    if nx < 1 or ny < 1:
+        raise ConfigurationError("grid dimensions must be positive")
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(nx, ny)
+    right = (idx[:, :-1].ravel(), idx[:, 1:].ravel())
+    down = (idx[:-1, :].ravel(), idx[1:, :].ravel())
+    ei = np.concatenate([right[0], down[0]])
+    ej = np.concatenate([right[1], down[1]])
+    return _laplacian_from_edges(nx * ny, ei, ej)
+
+
+def grid_laplacian_9pt(nx: int, ny: int) -> CSRMatrix:
+    """Nine-point stencil on an ``nx x ny`` grid (denser FEM-like pattern)."""
+    if nx < 1 or ny < 1:
+        raise ConfigurationError("grid dimensions must be positive")
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(nx, ny)
+    pairs = [
+        (idx[:, :-1], idx[:, 1:]),      # right
+        (idx[:-1, :], idx[1:, :]),      # down
+        (idx[:-1, :-1], idx[1:, 1:]),   # down-right
+        (idx[:-1, 1:], idx[1:, :-1]),   # down-left
+    ]
+    ei = np.concatenate([a.ravel() for a, _ in pairs])
+    ej = np.concatenate([b.ravel() for _, b in pairs])
+    return _laplacian_from_edges(nx * ny, ei, ej)
+
+
+def grid_laplacian_3d(nx: int, ny: int, nz: int) -> CSRMatrix:
+    """Seven-point stencil Laplacian on an ``nx x ny x nz`` grid."""
+    if min(nx, ny, nz) < 1:
+        raise ConfigurationError("grid dimensions must be positive")
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nx, ny, nz)
+    pairs = [
+        (idx[:, :, :-1], idx[:, :, 1:]),
+        (idx[:, :-1, :], idx[:, 1:, :]),
+        (idx[:-1, :, :], idx[1:, :, :]),
+    ]
+    ei = np.concatenate([a.ravel() for a, _ in pairs])
+    ej = np.concatenate([b.ravel() for _, b in pairs])
+    return _laplacian_from_edges(nx * ny * nz, ei, ej)
+
+
+def shell_block_banded(
+    n_blocks: int,
+    block_size: int,
+    *,
+    intra_density: float = 0.4,
+    coupling_width: int = 2,
+    seed: int | None = None,
+) -> CSRMatrix:
+    """Structural-mechanics "shell" proxy: dense-ish diagonal blocks coupled
+    to a few neighbouring blocks, like the element blocks of ``af_shell7``.
+
+    Parameters
+    ----------
+    n_blocks, block_size:
+        The matrix has ``n_blocks * block_size`` rows.
+    intra_density:
+        Density of the strict lower triangle within each diagonal block.
+    coupling_width:
+        Each block couples (sparsely) to this many preceding blocks.
+    """
+    if n_blocks < 1 or block_size < 1:
+        raise ConfigurationError("block counts must be positive")
+    rng = np.random.default_rng(seed)
+    n = n_blocks * block_size
+    rows_list: list[np.ndarray] = []
+    cols_list: list[np.ndarray] = []
+    for b in range(n_blocks):
+        base = b * block_size
+        # intra-block strict lower entries
+        tri_i, tri_j = np.tril_indices(block_size, k=-1)
+        keep = rng.random(tri_i.size) < intra_density
+        rows_list.append(base + tri_i[keep])
+        cols_list.append(base + tri_j[keep])
+        # couplings to previous blocks (band of blocks)
+        for w in range(1, min(coupling_width, b) + 1):
+            prev = (b - w) * block_size
+            m = max(1, block_size // (2 * w))
+            ri = rng.integers(0, block_size, size=m)
+            ci = rng.integers(0, block_size, size=m)
+            rows_list.append(base + ri)
+            cols_list.append(prev + ci)
+    rows = np.concatenate(rows_list).astype(np.int64)
+    cols = np.concatenate(cols_list).astype(np.int64)
+    # deduplicate pattern
+    key = rows * n + cols
+    _, uniq = np.unique(key, return_index=True)
+    rows, cols = rows[uniq], cols[uniq]
+    ei, ej = rows, cols
+    return _laplacian_from_edges(n, ei, ej)
+
+
+def rcm_mesh(
+    levels: int,
+    width: int,
+    *,
+    reach: int = 1,
+    lateral_prob: float = 1.0,
+    long_edge_prob: float = 0.0,
+    seed: int | None = None,
+) -> CSRMatrix:
+    """Level-major extruded mesh — an RCM-ordered FEM matrix model.
+
+    Nodes form a ``levels x width`` sheet numbered level-major (node
+    ``(l, q)`` has id ``l * width + q``), with every node coupled to nodes
+    ``(l+1, q+j)`` for ``|j| <= reach`` and optional sparse long-range
+    edges.  This is the structure reverse Cuthill-McKee imposes on real
+    meshes: wavefront levels are blocks of *consecutive* ids and downward
+    coupling is *local* (spread ``2 * reach + 1``), so a contiguous chunk
+    of a level resolves a deep cone of later rows — the property that
+    makes GrowLocal's ID-contiguous supersteps glue many wavefronts
+    (Section 3's "matrices from applications are often already ordered
+    superbly with respect to locality").
+
+    Parameters
+    ----------
+    levels, width:
+        Sheet dimensions; ``n = levels * width``.
+    reach:
+        Half-width of the inter-level stencil.
+    lateral_prob:
+        Keep probability of each *offset* (``j != 0``) inter-level edge.
+        The straight-down edge (``j = 0``) is always present.  Real
+        RCM-ordered FEM matrices couple each node firmly to its successor
+        across the level and only sparsely to lateral neighbours; the
+        sparser the lateral coupling, the deeper the exclusive "cones"
+        GrowLocal can grow from a contiguous chunk before chunks interact
+        (cone depth is roughly ``chunk / (2 * reach * lateral_prob)``).
+    long_edge_prob:
+        Probability per node of one extra edge to a uniformly random node
+        a few levels back (mesh irregularity).
+    """
+    if levels < 1 or width < 1 or reach < 0:
+        raise ConfigurationError("levels/width must be >= 1, reach >= 0")
+    if not (0.0 <= lateral_prob <= 1.0):
+        raise ConfigurationError("lateral_prob must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n = levels * width
+    idx = np.arange(n, dtype=np.int64).reshape(levels, width)
+    ei_list: list[np.ndarray] = []
+    ej_list: list[np.ndarray] = []
+    for j in range(-reach, reach + 1):
+        lo = max(0, -j)
+        hi = width - max(0, j)
+        if hi <= lo:
+            continue
+        src = idx[:-1, lo:hi].ravel()
+        dst = idx[1:, lo + j:hi + j].ravel()
+        if j != 0 and lateral_prob < 1.0:
+            keep = rng.random(src.size) < lateral_prob
+            src, dst = src[keep], dst[keep]
+        ei_list.append(src)
+        ej_list.append(dst)
+    if long_edge_prob > 0.0 and levels > 4:
+        mask = rng.random(n) < long_edge_prob
+        src = np.nonzero(mask)[0].astype(np.int64)
+        src = src[src >= 4 * width]  # need room for a backward edge
+        if src.size:
+            back = rng.integers(2, 5, size=src.size)
+            q = rng.integers(0, width, size=src.size)
+            dst = (src // width - back) * width + q
+            ei_list.append(dst)
+            ej_list.append(src)
+    ei = np.concatenate(ei_list)
+    ej = np.concatenate(ej_list)
+    return _laplacian_from_edges(n, ei, ej)
+
+
+def banded_stencil_lower(
+    n: int,
+    bandwidth: int,
+    offsets: int,
+    *,
+    min_offset_frac: float = 0.33,
+    seed: int | None = None,
+) -> CSRMatrix:
+    """Band-sparse lower-triangular matrix with mid-band couplings — the
+    dependence structure of naturally-ordered FEM matrices (``af_shell``,
+    ``audikw`` class).
+
+    Every row couples to ``offsets`` random earlier rows at distances in
+    ``[min_offset_frac * bandwidth, bandwidth]``.  Because short-distance
+    couplings are absent, dependence chains advance by at least
+    ``min_offset_frac * bandwidth`` rows per step: the DAG has depth around
+    ``n / (min_offset_frac * bandwidth)`` and *constant* wavefront width on
+    the order of the bandwidth — wide frontiers from row 0, no warm-up
+    triangle, and banded locality.  Values follow the Section 6.2.4
+    distributions.
+    """
+    if bandwidth < 2 or offsets < 1:
+        raise ConfigurationError("need bandwidth >= 2 and offsets >= 1")
+    if not (0.0 < min_offset_frac < 1.0):
+        raise ConfigurationError("min_offset_frac must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    lo = max(1, int(min_offset_frac * bandwidth))
+    rows = np.repeat(np.arange(n, dtype=np.int64), offsets)
+    dist = rng.integers(lo, bandwidth + 1, size=n * offsets)
+    cols = rows - dist
+    keep = cols >= 0
+    rows, cols = rows[keep], cols[keep]
+    key = rows * np.int64(n) + cols
+    uniq = np.unique(key)
+    rows = (uniq // n).astype(np.int64)
+    cols = (uniq % n).astype(np.int64)
+    return random_values_lower(n, rows, cols, seed=rng.integers(2**63))
+
+
+def kron_expand(matrix: CSRMatrix, block: int, *,
+                dense_diagonal_block: bool = False,
+                seed: int | None = None) -> CSRMatrix:
+    """Expand every vertex into a ``block x block`` multi-DOF coupling —
+    the structure of structural FEM matrices.
+
+    Real structural matrices (``af_shell``, ``bone010``, ``audikw_1``)
+    couple several degrees of freedom per mesh node, giving 18-40 non-zeros
+    per row and wavefronts ``block`` times wider than the underlying mesh.
+    Off-diagonal (inter-node) blocks are dense; intra-node blocks are
+    diagonal by default (mass-lumped DOFs), which multiplies the wavefront
+    width by ``block`` while keeping the mesh's dependence depth — the
+    statistics regime of Table A.1.  ``dense_diagonal_block = True`` adds
+    the intra-node strict-lower couplings as well (deeper, chain-like
+    DAGs).
+    """
+    if block < 1:
+        raise ConfigurationError("block must be >= 1")
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(matrix.n, dtype=np.int64), matrix.row_nnz())
+    cols = matrix.indices
+    d2 = block * block
+    # expand each (i, j) into the block grid (i*b + a, j*b + c)
+    a = np.tile(np.repeat(np.arange(block, dtype=np.int64), block),
+                rows.size)
+    c = np.tile(np.tile(np.arange(block, dtype=np.int64), block), rows.size)
+    big_rows = np.repeat(rows, d2) * block + a
+    big_cols = np.repeat(cols, d2) * block + c
+    if not dense_diagonal_block:
+        # drop intra-node off-diagonal couplings (keep DOF diagonals)
+        same_node = np.repeat(rows == cols, d2)
+        keep = ~same_node | (big_rows == big_cols)
+        big_rows, big_cols = big_rows[keep], big_cols[keep]
+    # symmetric values: draw once per unordered pair via a seeded hash of
+    # the (min, max) coordinate so (i,j) and (j,i) agree
+    lo = np.minimum(big_rows, big_cols)
+    hi = np.maximum(big_rows, big_cols)
+    mix = (lo * np.int64(2654435761) + hi) % np.int64(2**31)
+    vals = (mix.astype(np.float64) / 2**31 - 0.5) * 0.2
+    diag = big_rows == big_cols
+    vals[diag] = 1.0
+    out = CSRMatrix.from_coo(matrix.n * block, big_rows, big_cols, vals)
+    # make diagonally dominant (SPD-ish) based on actual row sums
+    row_abs = np.zeros(out.n)
+    out_rows = np.repeat(np.arange(out.n, dtype=np.int64), out.row_nnz())
+    np.add.at(row_abs, out_rows, np.abs(out.data))
+    is_diag = out.indices == out_rows
+    out.data[is_diag] = row_abs[out.indices[is_diag]] + 1.0
+    del rng  # values are hash-derived; rng kept for signature stability
+    return out
+
+
+def parabolic_like(
+    n: int,
+    *,
+    pool: int = 2000,
+    degree: int = 3,
+    seed: int | None = None,
+) -> CSRMatrix:
+    """Extreme-parallelism SPD proxy (``parabolic_fem`` / ``bundle_adj``).
+
+    Vertices beyond the first ``pool`` couple only to ``degree`` random
+    vertices inside the pool, so the dependence DAG has depth 2 and an
+    average wavefront around ``n / 2`` — the >50k avg-wavefront outliers of
+    Table A.1.
+    """
+    if not (0 < pool < n):
+        raise ConfigurationError("need 0 < pool < n")
+    rng = np.random.default_rng(seed)
+    body = n - pool
+    deg = min(degree, pool)
+    rows = np.repeat(np.arange(pool, n, dtype=np.int64), deg)
+    cols = rng.integers(0, pool, size=body * deg).astype(np.int64)
+    # deduplicate (row, col)
+    key = rows * np.int64(n) + cols
+    uniq = np.unique(key)
+    rows = (uniq // n).astype(np.int64)
+    cols = (uniq % n).astype(np.int64)
+    return _laplacian_from_edges(n, rows, cols)
+
+
+def arrow_matrix(
+    n: int,
+    *,
+    n_arms: int = 32,
+    arm_degree: int = 64,
+    seed: int | None = None,
+) -> CSRMatrix:
+    """Block-arrow SPD pattern: a diagonal body plus ``n_arms`` dense-ish
+    rows at the bottom coupling to random earlier columns.
+
+    The dependence DAG has depth 2 and an enormous average wavefront
+    (``~ n / 2``), mimicking the extreme-parallelism outliers of the
+    SuiteSparse set (``parabolic_fem``: avg wf 75k, ``bundle_adj``: 57k).
+    """
+    if n < 2 or n_arms < 1 or n_arms >= n:
+        raise ConfigurationError("need 0 < n_arms < n and n >= 2")
+    rng = np.random.default_rng(seed)
+    body = n - n_arms
+    ei_list: list[np.ndarray] = []
+    ej_list: list[np.ndarray] = []
+    for a in range(n_arms):
+        row = body + a
+        k = min(arm_degree, body)
+        cols = rng.choice(body, size=k, replace=False).astype(np.int64)
+        ei_list.append(np.full(k, row, dtype=np.int64))
+        ej_list.append(cols)
+    ei = np.concatenate(ei_list)
+    ej = np.concatenate(ej_list)
+    return _laplacian_from_edges(n, ei, ej)
+
+
+def random_geometric_spd(
+    n: int,
+    *,
+    radius: float = 0.03,
+    dim: int = 2,
+    seed: int | None = None,
+) -> CSRMatrix:
+    """Random geometric graph Laplacian: points uniform in the unit cube,
+    edges between pairs closer than ``radius``.  Mimics unstructured meshes
+    (``offshore``, ``StocF-1465``-like irregularity).
+
+    Points are sorted along a space-filling sweep (first coordinate) so the
+    natural ordering has the locality real meshes exhibit.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, dim))
+    order = np.argsort(pts[:, 0], kind="stable")
+    pts = pts[order]
+    # neighbour search via 1-d window on the sorted coordinate
+    ei_list: list[np.ndarray] = []
+    ej_list: list[np.ndarray] = []
+    xs = pts[:, 0]
+    hi = np.searchsorted(xs, xs + radius, side="right")
+    for i in range(n):
+        j = np.arange(i + 1, hi[i], dtype=np.int64)
+        if j.size == 0:
+            continue
+        d2 = np.sum((pts[j] - pts[i]) ** 2, axis=1)
+        close = j[d2 <= radius * radius]
+        if close.size:
+            ei_list.append(np.full(close.size, i, dtype=np.int64))
+            ej_list.append(close)
+    if ei_list:
+        ei = np.concatenate(ei_list)
+        ej = np.concatenate(ej_list)
+    else:
+        ei = np.empty(0, dtype=np.int64)
+        ej = np.empty(0, dtype=np.int64)
+    return _laplacian_from_edges(n, ei, ej)

@@ -1,0 +1,103 @@
+"""Matrix Market (``.mtx``) I/O.
+
+The SuiteSparse collection distributes matrices in Matrix Market format; we
+implement the coordinate real general/symmetric subset so locally stored
+matrices can be loaded into the pipeline, and any generated dataset can be
+exported for inspection with external tools.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+from repro.matrix.csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER = "%%MatrixMarket matrix coordinate real"
+
+
+def read_matrix_market(path: str | Path | io.TextIOBase) -> CSRMatrix:
+    """Read a coordinate, real, general or symmetric Matrix Market file.
+
+    Symmetric files are expanded to full storage (both triangles), matching
+    the convention the paper uses before taking the lower triangle.
+    """
+    close = False
+    if isinstance(path, (str, Path)):
+        fh = open(path, "r", encoding="ascii")
+        close = True
+    else:
+        fh = path
+    try:
+        header = fh.readline().strip()
+        if not header.lower().startswith("%%matrixmarket"):
+            raise MatrixFormatError("missing MatrixMarket header")
+        parts = header.lower().split()
+        if len(parts) < 5 or parts[1] != "matrix" or parts[2] != "coordinate":
+            raise MatrixFormatError("only coordinate matrices are supported")
+        if parts[3] not in ("real", "integer"):
+            raise MatrixFormatError("only real/integer fields are supported")
+        symmetry = parts[4]
+        if symmetry not in ("general", "symmetric"):
+            raise MatrixFormatError(f"unsupported symmetry '{symmetry}'")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise MatrixFormatError("malformed size line")
+        n_rows, n_cols, nnz = (int(x) for x in dims)
+        if n_rows != n_cols:
+            raise MatrixFormatError("only square matrices are supported")
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            fields = fh.readline().split()
+            if len(fields) < 2:
+                raise MatrixFormatError("truncated entry line")
+            rows[k] = int(fields[0]) - 1
+            cols[k] = int(fields[1]) - 1
+            vals[k] = float(fields[2]) if len(fields) > 2 else 1.0
+    finally:
+        if close:
+            fh.close()
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows_full = np.concatenate([rows, cols[off]])
+        cols_full = np.concatenate([cols, rows[off]])
+        vals_full = np.concatenate([vals, vals[off]])
+        return CSRMatrix.from_coo(n_rows, rows_full, cols_full, vals_full)
+    return CSRMatrix.from_coo(n_rows, rows, cols, vals)
+
+
+def write_matrix_market(
+    matrix: CSRMatrix, path: str | Path | io.TextIOBase, *, comment: str = ""
+) -> None:
+    """Write a matrix in coordinate real general format (1-based indices)."""
+    close = False
+    if isinstance(path, (str, Path)):
+        fh = open(path, "w", encoding="ascii")
+        close = True
+    else:
+        fh = path
+    try:
+        fh.write(_HEADER + " general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{matrix.n} {matrix.n} {matrix.nnz}\n")
+        rows = np.repeat(np.arange(matrix.n, dtype=np.int64), matrix.row_nnz())
+        for r, c, v in zip(rows, matrix.indices, matrix.data):
+            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")
+    finally:
+        if close:
+            fh.close()

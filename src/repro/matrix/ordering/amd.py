@@ -1,0 +1,98 @@
+"""Minimum-degree ordering (AMD stand-in) via a quotient graph.
+
+Stands in for Eigen's ``AMDOrdering`` in the iChol dataset pipeline
+(Section 6.2.3 of the paper).  This is a classic quotient-graph minimum
+degree: eliminated vertices become *elements*; the adjacency of a variable
+is its remaining variable neighbours plus the union of the variables of its
+adjacent elements.  Element absorption keeps lists compact.  Degrees are
+recomputed exactly for the variables adjacent to the pivot (the "affected"
+set), which is the dominant cost and matches the spirit of approximate
+minimum degree without its degree bounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.matrix.csr import CSRMatrix
+
+__all__ = ["minimum_degree_ordering"]
+
+
+def minimum_degree_ordering(matrix: CSRMatrix) -> np.ndarray:
+    """Quotient-graph minimum-degree ordering of the symmetrized pattern.
+
+    Returns
+    -------
+    numpy.ndarray
+        Old->new permutation; eliminating rows in the *new* order keeps
+        Cholesky fill low, which is what the iChol dataset requires.
+
+    Notes
+    -----
+    Worst-case cost is super-linear (as for all minimum-degree variants);
+    intended for the moderate sizes used by the dataset builders and tests.
+    """
+    n = matrix.n
+    # variable -> set of variable neighbours (symmetric, no diagonal)
+    var_adj: list[set[int]] = [set() for _ in range(n)]
+    rows = np.repeat(np.arange(n, dtype=np.int64), matrix.row_nnz())
+    for i, j in zip(rows.tolist(), matrix.indices.tolist()):
+        if i != j:
+            var_adj[i].add(j)
+            var_adj[j].add(i)
+    # variable -> set of adjacent elements; element -> set of variables
+    var_elems: list[set[int]] = [set() for _ in range(n)]
+    elem_vars: dict[int, set[int]] = {}
+
+    eliminated = np.zeros(n, dtype=bool)
+    degree = np.array([len(a) for a in var_adj], dtype=np.int64)
+    heap: list[tuple[int, int]] = [(int(degree[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+
+    order: list[int] = []
+    while heap:
+        d, pivot = heapq.heappop(heap)
+        if eliminated[pivot] or d != degree[pivot]:
+            continue  # stale heap entry
+        eliminated[pivot] = True
+        order.append(pivot)
+
+        # the pivot's full variable neighbourhood in the quotient graph
+        nbrs: set[int] = {v for v in var_adj[pivot] if not eliminated[v]}
+        absorbed = list(var_elems[pivot])
+        for e in absorbed:
+            nbrs.update(v for v in elem_vars[e] if not eliminated[v])
+        nbrs.discard(pivot)
+
+        # the pivot becomes a new element; absorb its old elements
+        elem_vars[pivot] = nbrs
+        for e in absorbed:
+            vs = elem_vars.pop(e, None)
+            if vs is None:
+                continue
+            for v in vs:
+                var_elems[v].discard(e)
+
+        # update affected variables
+        for v in nbrs:
+            var_adj[v].discard(pivot)
+            # drop variable-variable edges now covered by the new element
+            var_adj[v] -= nbrs
+            var_elems[v].add(pivot)
+            # exact external degree of v in the quotient graph
+            ext: set[int] = {u for u in var_adj[v] if not eliminated[u]}
+            for e in var_elems[v]:
+                ext.update(u for u in elem_vars[e] if not eliminated[u])
+            ext.discard(v)
+            degree[v] = len(ext)
+            heapq.heappush(heap, (int(degree[v]), v))
+
+        var_adj[pivot] = set()
+        var_elems[pivot] = set()
+
+    perm = np.empty(n, dtype=np.int64)
+    perm[np.array(order, dtype=np.int64)] = np.arange(n, dtype=np.int64)
+    return perm

@@ -1,0 +1,88 @@
+"""Symmetric permutations of sparse matrices and permutation utilities.
+
+The reordering step of the paper (Section 5) symmetrically permutes the
+matrix according to the computed schedule: ``B = P A P^T`` with
+``B[p(i), p(j)] = A[i, j]`` where ``p`` maps *old* index to *new* index.
+The right-hand side is permuted with the same map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.matrix.csr import CSRMatrix
+
+__all__ = [
+    "is_permutation",
+    "inverse_permutation",
+    "permute_symmetric",
+    "permute_vector",
+    "unpermute_vector",
+    "random_permutation",
+]
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """True iff ``perm`` is a permutation of ``0..len(perm)-1``."""
+    p = np.asarray(perm)
+    if p.ndim != 1:
+        return False
+    n = p.size
+    seen = np.zeros(n, dtype=bool)
+    valid = (p >= 0) & (p < n)
+    if not valid.all():
+        return False
+    seen[p] = True
+    return bool(seen.all())
+
+
+def inverse_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse of an old->new permutation (new->old)."""
+    p = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(p)
+    inv[p] = np.arange(p.size, dtype=np.int64)
+    return inv
+
+
+def _check_perm(perm: np.ndarray, n: int) -> np.ndarray:
+    p = np.asarray(perm, dtype=np.int64)
+    if p.size != n or not is_permutation(p):
+        raise ConfigurationError("not a valid permutation of the right size")
+    return p
+
+
+def permute_symmetric(matrix: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    """Return ``P A P^T`` where ``perm`` maps old index -> new index.
+
+    ``B[perm[i], perm[j]] = A[i, j]``; for a lower-triangular input whose
+    permutation is a valid topological order of the rows, the output is
+    again lower triangular (Section 5 of the paper).
+    """
+    p = _check_perm(perm, matrix.n)
+    rows = np.repeat(np.arange(matrix.n, dtype=np.int64), matrix.row_nnz())
+    return CSRMatrix.from_coo(
+        matrix.n, p[rows], p[matrix.indices], matrix.data
+    )
+
+
+def permute_vector(vec: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Permute a dense vector: ``out[perm[i]] = vec[i]``."""
+    v = np.asarray(vec, dtype=np.float64)
+    p = _check_perm(perm, v.size)
+    out = np.empty_like(v)
+    out[p] = v
+    return out
+
+
+def unpermute_vector(vec: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Invert :func:`permute_vector`: ``out[i] = vec[perm[i]]``."""
+    v = np.asarray(vec, dtype=np.float64)
+    p = _check_perm(perm, v.size)
+    return v[p]
+
+
+def random_permutation(n: int, *, seed: int | None = None) -> np.ndarray:
+    """A uniformly random permutation of ``0..n-1``."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int64)

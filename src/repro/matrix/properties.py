@@ -1,0 +1,65 @@
+"""Structural properties of sparse matrices.
+
+These metrics feed the dataset tables of Appendix A (size, nnz, average
+wavefront size) and the dataset-selection criteria of Section 6.2 (flop
+count, average wavefront).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrix.csr import CSRMatrix
+
+__all__ = [
+    "bandwidth",
+    "lower_profile",
+    "is_structurally_symmetric",
+    "flop_count",
+    "density",
+]
+
+
+def bandwidth(matrix: CSRMatrix) -> int:
+    """Maximum ``|i - j|`` over stored entries (0 for diagonal/empty)."""
+    if matrix.nnz == 0:
+        return 0
+    rows = np.repeat(np.arange(matrix.n, dtype=np.int64), matrix.row_nnz())
+    return int(np.abs(rows - matrix.indices).max())
+
+
+def lower_profile(matrix: CSRMatrix) -> int:
+    """Sum over rows of ``i - min_col(i)`` (the envelope/profile size),
+    counting only rows with at least one entry at or below the diagonal."""
+    total = 0
+    for i in range(matrix.n):
+        cols = matrix.indices[matrix.indptr[i]:matrix.indptr[i + 1]]
+        lower = cols[cols <= i]
+        if lower.size:
+            total += i - int(lower[0])
+    return total
+
+
+def is_structurally_symmetric(matrix: CSRMatrix) -> bool:
+    """True iff the sparsity pattern equals that of the transpose."""
+    t = matrix.transpose()
+    return (
+        np.array_equal(matrix.indptr, t.indptr)
+        and np.array_equal(matrix.indices, t.indices)
+    )
+
+
+def flop_count(lower: CSRMatrix) -> int:
+    """Floating point operations of one forward substitution.
+
+    Per Section 6.2.1 footnote 3: ``2 * nnz - n`` (one multiply + one add
+    per off-diagonal non-zero, one subtraction-free divide per row).
+    """
+    return 2 * lower.nnz - lower.n
+
+
+def density(matrix: CSRMatrix) -> float:
+    """Fraction of stored entries: ``nnz / n^2`` (0 for the empty matrix)."""
+    if matrix.n == 0:
+        return 0.0
+    return matrix.nnz / float(matrix.n * matrix.n)

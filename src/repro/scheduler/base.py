@@ -1,0 +1,45 @@
+"""Scheduler interface.
+
+Every scheduler maps ``(DAG, n_cores) -> Schedule``.  Schedulers are plain
+objects configured at construction (parameters such as the synchronization
+penalty ``L``) so they can be registered by name and swept in experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+from repro.graph.dag import DAG
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Abstract scheduler.
+
+    Attributes
+    ----------
+    name:
+        Registry/display name.
+    execution_mode:
+        ``"bsp"`` for barrier-synchronous schedules (executed by the BSP
+        simulator) or ``"async"`` for point-to-point-synchronized schedules
+        (executed by the event-driven simulator) — SpMP is the only
+        ``"async"`` scheduler, matching Section 1 of the paper.
+    """
+
+    name: str = "abstract"
+    execution_mode: str = "bsp"
+
+    @abstractmethod
+    def schedule(self, dag: DAG, n_cores: int) -> Schedule:
+        """Compute a valid schedule of ``dag`` on ``n_cores`` cores."""
+
+    def _check_cores(self, n_cores: int) -> None:
+        if n_cores < 1:
+            raise ConfigurationError("n_cores must be >= 1")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

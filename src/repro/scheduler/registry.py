@@ -1,0 +1,53 @@
+"""Scheduler registry: name -> factory.
+
+The experiment harness and benchmarks construct schedulers by name so
+parameter sweeps and tables stay declarative.  Custom schedulers can be
+registered by downstream users via :func:`register_scheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.scheduler.base import Scheduler
+from repro.scheduler.bsp_list import BSPListScheduler
+from repro.scheduler.funnel_gl import FunnelGrowLocalScheduler
+from repro.scheduler.growlocal import GrowLocalScheduler
+from repro.scheduler.hdagg import HDaggScheduler
+from repro.scheduler.serial import SerialScheduler
+from repro.scheduler.spmp import SpMPScheduler
+from repro.scheduler.wavefront_sched import WavefrontScheduler
+
+__all__ = ["make_scheduler", "register_scheduler", "available_schedulers"]
+
+_REGISTRY: dict[str, Callable[..., Scheduler]] = {
+    "serial": SerialScheduler,
+    "wavefront": WavefrontScheduler,
+    "growlocal": GrowLocalScheduler,
+    "funnel+gl": FunnelGrowLocalScheduler,
+    "spmp": SpMPScheduler,
+    "hdagg": HDaggScheduler,
+    "bspg": BSPListScheduler,
+}
+
+
+def register_scheduler(name: str, factory: Callable[..., Scheduler]) -> None:
+    """Register a scheduler factory under ``name`` (overwrites existing)."""
+    _REGISTRY[name] = factory
+
+
+def available_schedulers() -> list[str]:
+    """Sorted list of registered scheduler names."""
+    return sorted(_REGISTRY)
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a registered scheduler by name with keyword options."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+    return factory(**kwargs)

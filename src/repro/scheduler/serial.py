@@ -1,0 +1,27 @@
+"""Serial schedule: everything on core 0 in a single superstep.
+
+The baseline denominator of every speed-up figure in the paper ("Speed-up
+over Serial").  Trivially valid by Definition 2.1 because no edge crosses
+cores or goes backwards in supersteps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.dag import DAG
+from repro.scheduler.base import Scheduler
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["SerialScheduler"]
+
+
+class SerialScheduler(Scheduler):
+    """All vertices on core 0, superstep 0 (executed in vertex-id order)."""
+
+    name = "serial"
+
+    def schedule(self, dag: DAG, n_cores: int = 1) -> Schedule:
+        self._check_cores(n_cores)
+        zeros = np.zeros(dag.n, dtype=np.int64)
+        return Schedule(zeros, zeros.copy(), n_cores)

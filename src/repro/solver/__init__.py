@@ -1,0 +1,43 @@
+"""SpTRSV execution: serial kernels, schedule-driven execution, threads.
+
+* :mod:`~repro.solver.sptrsv` — serial forward/backward substitution on CSR
+  (the paper's kernel, Section 6.1);
+* :mod:`~repro.solver.scheduled` — executes a
+  :class:`~repro.scheduler.schedule.Schedule` superstep by superstep
+  (deterministic emulation used for correctness verification);
+* :mod:`~repro.solver.threaded` — a real ``threading``-based executor with
+  barriers (functional parallel execution; the GIL prevents speed-ups in
+  CPython but the code path mirrors the OpenMP kernel);
+* :mod:`~repro.solver.cg` / :mod:`~repro.solver.gauss_seidel` — downstream
+  consumers of SpTRSV (preconditioned conjugate gradient, Gauß–Seidel),
+  the applications the paper's introduction motivates.
+"""
+
+from repro.solver.backward import (
+    backward_dag,
+    forward_sptrsm,
+    scheduled_backward_sptrsv,
+    scheduled_sptrsm,
+)
+from repro.solver.cg import conjugate_gradient, ichol_preconditioner
+from repro.solver.gauss_seidel import gauss_seidel
+from repro.solver.scheduled import scheduled_sptrsv
+from repro.solver.sptrsv import (
+    backward_substitution,
+    forward_substitution,
+)
+from repro.solver.threaded import threaded_sptrsv
+
+__all__ = [
+    "backward_dag",
+    "backward_substitution",
+    "conjugate_gradient",
+    "forward_sptrsm",
+    "forward_substitution",
+    "gauss_seidel",
+    "ichol_preconditioner",
+    "scheduled_backward_sptrsv",
+    "scheduled_sptrsm",
+    "scheduled_sptrsv",
+    "threaded_sptrsv",
+]

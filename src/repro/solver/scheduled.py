@@ -1,0 +1,93 @@
+"""Schedule-driven SpTRSV execution (deterministic emulation).
+
+Executes a schedule superstep by superstep: within a superstep each core's
+rows are solved in vertex-id order (a topological order of the sub-DAG, per
+Section 5); the "barrier" between supersteps is the sequential boundary.
+Running the cores of a superstep one after the other on a single OS thread
+produces bit-identical results to a true parallel execution because the
+schedule guarantees no intra-superstep cross-core dependencies — this is
+exactly what :meth:`Schedule.validate` checks, and executing through this
+path is an end-to-end test of that guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+from repro.matrix.csr import CSRMatrix
+from repro.scheduler.schedule import Schedule
+from repro.solver.sptrsv import solve_rows
+
+__all__ = ["scheduled_sptrsv"]
+
+
+def scheduled_sptrsv(
+    lower: CSRMatrix,
+    b: np.ndarray,
+    schedule: Schedule,
+    *,
+    verify_dependencies: bool = False,
+) -> np.ndarray:
+    """Solve ``L x = b`` following ``schedule``.
+
+    Parameters
+    ----------
+    verify_dependencies:
+        When true, assert before each row that all of its dependencies were
+        computed in an earlier superstep or earlier on the same core —
+        catching invalid schedules at the exact failing row (used by the
+        test-suite's failure-injection tests).
+    """
+    lower.require_lower_triangular()
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (lower.n,):
+        raise MatrixFormatError("right-hand side has wrong length")
+    if schedule.n != lower.n:
+        raise MatrixFormatError("schedule size does not match the matrix")
+
+    x = np.zeros(lower.n)
+    computed = np.zeros(lower.n, dtype=bool) if verify_dependencies else None
+    lists = schedule.execution_lists()
+    for step, step_cells in enumerate(lists):
+        for core, rows in enumerate(step_cells):
+            if rows.size == 0:
+                continue
+            if computed is not None:
+                _verify_cell(lower, schedule, rows, step, core, computed)
+            solve_rows(lower, b, x, rows)
+    return x
+
+
+def _verify_cell(
+    lower: CSRMatrix,
+    schedule: Schedule,
+    rows: np.ndarray,
+    step: int,
+    core: int,
+    computed: np.ndarray,
+) -> None:
+    """Check that each dependency of ``rows`` was produced in an earlier
+    superstep, or earlier on the *same* core within this superstep (a
+    cross-core same-superstep dependency would race in a real parallel
+    execution even if this sequential emulation happens to order it)."""
+    from repro.errors import InvalidScheduleError
+
+    for i in rows:
+        i = int(i)
+        cols = lower.indices[lower.indptr[i]:lower.indptr[i + 1]]
+        for j in cols[cols < i]:
+            j = int(j)
+            earlier_step = schedule.supersteps[j] < step
+            same_cell_done = (
+                schedule.supersteps[j] == step
+                and schedule.cores[j] == core
+                and computed[j]
+            )
+            if not (earlier_step or same_cell_done):
+                raise InvalidScheduleError(
+                    f"row {i} (core {core}, superstep {step}) would race "
+                    f"with dependency {j} (core {int(schedule.cores[j])}, "
+                    f"superstep {int(schedule.supersteps[j])})"
+                )
+        computed[i] = True

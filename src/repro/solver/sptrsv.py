@@ -1,0 +1,79 @@
+"""Serial sparse triangular solve kernels (forward/backward substitution).
+
+The paper's kernel (Section 6.1): iterate rows of the CSR matrix in order,
+computing Eq. 2.1:
+
+    x_i = (b_i - sum_{j < i} A_ij x_j) / A_ii.
+
+The inner dot product is vectorized with NumPy slices; the outer loop is
+inherently sequential (each row may depend on all previous ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError, SingularMatrixError
+from repro.matrix.csr import CSRMatrix
+
+__all__ = ["forward_substitution", "backward_substitution", "solve_rows"]
+
+
+def solve_rows(
+    lower: CSRMatrix,
+    b: np.ndarray,
+    x: np.ndarray,
+    rows: np.ndarray,
+) -> None:
+    """Solve the given ``rows`` of ``L x = b`` in the given order, writing
+    into ``x`` (which must already contain valid values for all
+    dependencies).  This is the per-core unit of work of every executor.
+    """
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    for i in rows:
+        i = int(i)
+        lo, hi = indptr[i], indptr[i + 1]
+        cols = indices[lo:hi]
+        vals = data[lo:hi]
+        if hi == lo or cols[-1] != i:
+            raise SingularMatrixError(
+                f"row {i} has no stored diagonal entry"
+            )
+        diag = vals[-1]
+        if diag == 0.0:
+            raise SingularMatrixError(f"zero diagonal at row {i}")
+        acc = b[i] - np.dot(vals[:-1], x[cols[:-1]])
+        x[i] = acc / diag
+
+
+def forward_substitution(lower: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``L x = b`` for lower-triangular ``L`` (Eq. 2.1)."""
+    lower.require_lower_triangular()
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (lower.n,):
+        raise MatrixFormatError("right-hand side has wrong length")
+    x = np.zeros(lower.n)
+    solve_rows(lower, b, x, np.arange(lower.n, dtype=np.int64))
+    return x
+
+
+def backward_substitution(upper: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``U x = b`` for upper-triangular ``U`` (reverse sweep)."""
+    if not upper.is_upper_triangular():
+        raise MatrixFormatError("matrix is not upper triangular")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (upper.n,):
+        raise MatrixFormatError("right-hand side has wrong length")
+    x = np.zeros(upper.n)
+    indptr, indices, data = upper.indptr, upper.indices, upper.data
+    for i in range(upper.n - 1, -1, -1):
+        lo, hi = indptr[i], indptr[i + 1]
+        cols = indices[lo:hi]
+        vals = data[lo:hi]
+        if hi == lo or cols[0] != i:
+            raise SingularMatrixError(f"row {i} has no stored diagonal entry")
+        diag = vals[0]
+        if diag == 0.0:
+            raise SingularMatrixError(f"zero diagonal at row {i}")
+        x[i] = (b[i] - np.dot(vals[1:], x[cols[1:]])) / diag
+    return x

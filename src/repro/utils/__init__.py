@@ -1,0 +1,17 @@
+"""Shared utilities: statistics and timing helpers."""
+
+from repro.utils.stats import (
+    geometric_mean,
+    interquartile_range,
+    performance_profile,
+    quartiles,
+)
+from repro.utils.timing import Timer
+
+__all__ = [
+    "geometric_mean",
+    "interquartile_range",
+    "performance_profile",
+    "quartiles",
+    "Timer",
+]

@@ -1,0 +1,116 @@
+"""Statistical helpers used throughout the evaluation harness.
+
+The paper aggregates per-matrix results with geometric means (Tables 7.1-7.7)
+and reports interquartile ranges (Figure 1.2) and Dolan-More performance
+profiles (Figure 7.1).  These helpers are the single implementation used by
+both the test-suite and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "geometric_mean",
+    "quartiles",
+    "interquartile_range",
+    "performance_profile",
+]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Parameters
+    ----------
+    values:
+        Non-empty sequence of positive numbers.
+
+    Returns
+    -------
+    float
+        ``exp(mean(log(values)))``, computed in log-space for stability.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("geometric_mean of empty sequence")
+    if np.any(arr <= 0.0):
+        raise ConfigurationError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def quartiles(values: Sequence[float]) -> tuple[float, float, float]:
+    """Return ``(Q25, median, Q75)`` using linear interpolation.
+
+    Matches the quartile convention of Table 7.6 in the paper.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("quartiles of empty sequence")
+    q25, q50, q75 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return float(q25), float(q50), float(q75)
+
+
+def interquartile_range(values: Sequence[float]) -> tuple[float, float]:
+    """Return the ``(Q25, Q75)`` pair, the IQR band of Figure 1.2."""
+    q25, _, q75 = quartiles(values)
+    return q25, q75
+
+
+def performance_profile(
+    times_by_algorithm: dict[str, Sequence[float]],
+    thresholds: Sequence[float] | None = None,
+) -> dict[str, np.ndarray]:
+    """Dolan-More performance profile (Figure 7.1).
+
+    For each algorithm and each threshold ``tau``, computes the fraction of
+    instances on which the algorithm's time is within ``tau`` times the best
+    time achieved by *any* algorithm on that instance.
+
+    Parameters
+    ----------
+    times_by_algorithm:
+        Mapping from algorithm name to a sequence of per-instance times.
+        All sequences must have the same length and positive entries.
+    thresholds:
+        Threshold values ``tau >= 1``.  Defaults to ``1.0, 1.1, ..., 5.0``.
+
+    Returns
+    -------
+    dict
+        ``{"thresholds": taus, name: fractions, ...}`` where ``fractions`` is
+        an array of the same length as ``taus``.
+    """
+    if not times_by_algorithm:
+        raise ConfigurationError("performance_profile needs >= 1 algorithm")
+    lengths = {len(v) for v in times_by_algorithm.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError("all algorithms need the same instance count")
+    (n_instances,) = lengths
+    if n_instances == 0:
+        raise ConfigurationError("performance_profile needs >= 1 instance")
+
+    taus = (
+        np.arange(1.0, 5.01, 0.1)
+        if thresholds is None
+        else np.asarray(thresholds, dtype=np.float64)
+    )
+    if np.any(taus < 1.0):
+        raise ConfigurationError("thresholds must be >= 1")
+
+    matrix = np.vstack(
+        [np.asarray(v, dtype=np.float64) for v in times_by_algorithm.values()]
+    )
+    if np.any(matrix <= 0):
+        raise ConfigurationError("performance_profile requires positive times")
+    best = matrix.min(axis=0)  # per-instance best over all algorithms
+
+    out: dict[str, np.ndarray] = {"thresholds": taus}
+    for name, row in zip(times_by_algorithm, matrix):
+        ratios = row / best
+        out[name] = np.array([(ratios <= t).mean() for t in taus])
+    return out

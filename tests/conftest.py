@@ -1,0 +1,130 @@
+"""Shared fixtures and hypothesis strategies for the test-suite.
+
+Strategies generate *small* random lower-triangular systems and DAGs so
+property-based tests stay fast while covering irregular shapes: empty
+matrices, diagonal-only, chains, dense triangles, and random sparsity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph.dag import DAG
+from repro.matrix.csr import CSRMatrix
+from repro.matrix.generators import random_values_lower
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def lower_triangular_matrices(
+    draw,
+    min_n: int = 1,
+    max_n: int = 40,
+    density: float | None = None,
+) -> CSRMatrix:
+    """A random non-singular lower-triangular matrix with full diagonal."""
+    n = draw(st.integers(min_n, max_n))
+    p = (
+        draw(st.floats(0.0, 0.6, allow_nan=False))
+        if density is None
+        else density
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    tri_i, tri_j = np.tril_indices(n, k=-1)
+    keep = rng.random(tri_i.size) < p
+    return random_values_lower(n, tri_i[keep], tri_j[keep], seed=seed)
+
+
+@st.composite
+def dags(draw, min_n: int = 1, max_n: int = 40) -> DAG:
+    """A random DAG (edges always low id -> high id; unit/random weights)."""
+    lower = draw(lower_triangular_matrices(min_n=min_n, max_n=max_n))
+    dag = DAG.from_lower_triangular(lower)
+    if draw(st.booleans()):
+        return dag
+    # random positive weights variant
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    weights = rng.integers(1, 20, size=dag.n)
+    src, dst = dag.edges()
+    return DAG(dag.n, src, dst, weights, check=False)
+
+
+@st.composite
+def dag_and_cores(draw, max_n: int = 40, max_cores: int = 8):
+    """A (DAG, n_cores) pair for scheduler property tests."""
+    return draw(dags(max_n=max_n)), draw(st.integers(1, max_cores))
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def small_grid_lower() -> CSRMatrix:
+    """Lower triangle of a 12x12 five-point grid Laplacian (n = 144)."""
+    from repro.matrix.generators import grid_laplacian_2d
+
+    return grid_laplacian_2d(12, 12).lower_triangle()
+
+
+@pytest.fixture(scope="session")
+def small_er_lower() -> CSRMatrix:
+    """A 300-row Erdős–Rényi lower-triangular matrix."""
+    from repro.matrix.generators import erdos_renyi_lower
+
+    return erdos_renyi_lower(300, 0.01, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_band_lower() -> CSRMatrix:
+    """A 400-row narrow-band matrix (hard to parallelize)."""
+    from repro.matrix.generators import narrow_band_lower
+
+    return narrow_band_lower(400, 0.14, 10.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def diamond_dag() -> DAG:
+    """The classic diamond: 0 -> {1, 2} -> 3."""
+    return DAG.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture(scope="session")
+def paper_figure_dag() -> DAG:
+    """The 6-vertex DAG of Figure 1.1 in the paper.
+
+    Matrix rows a..f = 0..5 with strict-lower non-zeros:
+    c<-a, c<-b, d<-c, e<-c, f<-d (wavefronts {a,b}, {c}, {d,e}... see
+    Figure 1.1b).
+    """
+    return DAG.from_edges(
+        6, [(0, 2), (1, 2), (2, 3), (2, 4), (3, 5)],
+        weights=[1, 1, 3, 2, 2, 2],
+    )
+
+
+def all_schedulers():
+    """Fresh instances of every registered scheduler (helper for tests)."""
+    from repro.scheduler import (
+        BSPListScheduler,
+        FunnelGrowLocalScheduler,
+        GrowLocalScheduler,
+        HDaggScheduler,
+        SerialScheduler,
+        SpMPScheduler,
+        WavefrontScheduler,
+    )
+
+    return [
+        SerialScheduler(),
+        WavefrontScheduler(),
+        GrowLocalScheduler(),
+        FunnelGrowLocalScheduler(),
+        HDaggScheduler(),
+        SpMPScheduler(),
+        BSPListScheduler(),
+    ]

@@ -1,0 +1,53 @@
+"""Property test of the reuse-distance cache model against a brute-force
+LRU-approximation oracle.
+
+The vectorized implementation must agree exactly with the obvious
+per-access Python loop: access ``k`` misses iff the same line was not
+touched within the previous ``window`` accesses.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import reuse_distance_misses
+
+
+def _oracle(line_ids: np.ndarray, window: int) -> np.ndarray:
+    last_seen: dict[int, int] = {}
+    miss = np.zeros(line_ids.size, dtype=bool)
+    for k, line in enumerate(line_ids.tolist()):
+        prev = last_seen.get(line)
+        miss[k] = prev is None or (k - prev) > window
+        last_seen[line] = k
+    return miss
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 30), min_size=0, max_size=200),
+    st.integers(1, 64),
+)
+def test_property_matches_bruteforce_oracle(lines, window):
+    arr = np.array(lines, dtype=np.int64)
+    np.testing.assert_array_equal(
+        reuse_distance_misses(arr, window), _oracle(arr, window)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 10), min_size=1, max_size=100))
+def test_property_bigger_window_never_more_misses(lines):
+    arr = np.array(lines, dtype=np.int64)
+    small = reuse_distance_misses(arr, 2).sum()
+    large = reuse_distance_misses(arr, 50).sum()
+    assert large <= small
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=100))
+def test_property_at_least_cold_misses(lines):
+    arr = np.array(lines, dtype=np.int64)
+    misses = reuse_distance_misses(arr, 10**6)
+    # with an unbounded window only cold misses remain: one per line
+    assert misses.sum() == np.unique(arr).size

@@ -1,0 +1,65 @@
+"""Tests for the machine-calibration grid search."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.calibration import CalibrationProblem, grid_search
+from repro.experiments.datasets import DatasetInstance
+from repro.matrix.generators import rcm_mesh
+
+
+@pytest.fixture(scope="module")
+def problem():
+    instances = [
+        DatasetInstance(
+            "cal_mesh",
+            rcm_mesh(30, 60, reach=1, lateral_prob=0.3,
+                     seed=0).lower_triangle(),
+        )
+    ]
+    return CalibrationProblem.from_dataset(
+        instances, {"growlocal": 4.0, "hdagg": 2.0}, n_cores=8
+    )
+
+
+def test_evaluate_returns_all_targets(problem):
+    from repro.machine.model import MachineModel
+
+    measured = problem.evaluate(MachineModel(name="x", n_cores=8))
+    assert set(measured) == {"growlocal", "hdagg"}
+    assert all(v > 0 for v in measured.values())
+
+
+def test_grid_search_picks_minimum(problem):
+    result = grid_search(
+        problem,
+        barrier=[50.0, 5000.0],
+        p2p=[100.0],
+        cache_lines=[256],
+        miss=[10.0],
+    )
+    assert result.trials == 2
+    # the alternative barrier must not beat the selected one
+    from dataclasses import replace
+
+    other_barrier = 5000.0 if result.machine.barrier_latency == 50.0 else 50.0
+    other = problem.evaluate(
+        replace(result.machine, barrier_latency=other_barrier)
+    )
+    assert result.error <= problem.error(other) + 1e-12
+
+
+def test_error_is_zero_at_targets(problem):
+    assert problem.error({"growlocal": 4.0, "hdagg": 2.0}) == 0.0
+    assert problem.error({"growlocal": 8.0, "hdagg": 2.0}) > 0.0
+
+
+def test_missing_target_scheduler_rejected():
+    with pytest.raises(ConfigurationError):
+        CalibrationProblem({}, {"growlocal": 1.0}, 4)
+
+
+def test_empty_grid_rejected(problem):
+    with pytest.raises(ConfigurationError):
+        grid_search(problem, barrier=[], p2p=[1.0], cache_lines=[1],
+                    miss=[1.0])

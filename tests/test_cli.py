@@ -1,0 +1,93 @@
+"""End-to-end tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.matrix.generators import narrow_band_lower
+from repro.matrix.io_mm import write_matrix_market
+
+
+@pytest.fixture
+def matrix_file(tmp_path):
+    path = tmp_path / "L.mtx"
+    write_matrix_market(narrow_band_lower(300, 0.14, 8.0, seed=0), path)
+    return str(path)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_generate_and_schedule(tmp_path, capsys):
+    mtx = str(tmp_path / "m.mtx")
+    assert main(["generate", "--kind", "erdos_renyi", "--n", "300",
+                 "--p", "0.01", "--seed", "1", "--output", mtx]) == 0
+    sched = str(tmp_path / "s.json")
+    assert main(["schedule", "--matrix", mtx, "--scheduler", "growlocal",
+                 "--cores", "4", "--output", sched]) == 0
+    out = capsys.readouterr().out
+    assert "supersteps" in out
+    assert "wrote" in out
+
+
+def test_solve_with_and_without_schedule(matrix_file, tmp_path, capsys):
+    sched = str(tmp_path / "s.json")
+    main(["schedule", "--matrix", matrix_file, "--cores", "4",
+          "--output", sched])
+    xout = str(tmp_path / "x.npy")
+    assert main(["solve", "--matrix", matrix_file, "--schedule", sched,
+                 "--output", xout]) == 0
+    x_sched = np.load(xout)
+    assert main(["solve", "--matrix", matrix_file,
+                 "--output", xout]) == 0
+    x_serial = np.load(xout)
+    np.testing.assert_allclose(x_sched, x_serial, rtol=1e-10)
+
+
+def test_solve_custom_rhs(matrix_file, tmp_path):
+    rhs = tmp_path / "b.npy"
+    np.save(rhs, np.linspace(1, 2, 300))
+    assert main(["solve", "--matrix", matrix_file,
+                 "--rhs", str(rhs)]) == 0
+
+
+def test_simulate(matrix_file, tmp_path, capsys):
+    sched = str(tmp_path / "s.json")
+    main(["schedule", "--matrix", matrix_file, "--cores", "4",
+          "--output", sched])
+    assert main(["simulate", "--matrix", matrix_file,
+                 "--schedule", sched]) == 0
+    out = capsys.readouterr().out
+    assert "speed-up" in out
+
+
+def test_compare(matrix_file, capsys):
+    assert main(["compare", "--matrix", matrix_file,
+                 "--cores", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "growlocal" in out
+    assert "hdagg" in out
+
+
+def test_machines(capsys):
+    assert main(["machines"]) == 0
+    out = capsys.readouterr().out
+    assert "intel_xeon_6238t" in out
+
+
+def test_datasets_narrow_band(capsys):
+    assert main(["datasets", "--name", "narrow_band"]) == 0
+    assert "NB_10k" in capsys.readouterr().out
+
+
+def test_missing_file_is_error(capsys):
+    assert main(["schedule", "--matrix", "/nonexistent.mtx"]) == 2
+
+
+def test_generate_all_kinds(tmp_path):
+    for kind in ("erdos_renyi", "narrow_band", "grid2d", "rcm_mesh"):
+        out = str(tmp_path / f"{kind}.mtx")
+        assert main(["generate", "--kind", kind, "--n", "100",
+                     "--output", out]) == 0

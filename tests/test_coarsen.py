@@ -1,0 +1,160 @@
+"""Tests for cascades, funnel partitioning, quotient graphs and pull-back
+(Section 4 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidPartitionError
+from repro.graph.coarsen import (
+    coarsen,
+    in_funnel_partition,
+    is_cascade,
+    is_cascade_partition,
+    is_in_funnel,
+    out_funnel_partition,
+    partition_from_parts,
+    pull_back_schedule,
+)
+from repro.graph.dag import DAG
+from repro.graph.toposort import is_acyclic
+from repro.scheduler.growlocal import GrowLocalScheduler
+from tests.conftest import dags
+
+
+class TestCascade:
+    def test_single_vertex_is_cascade(self, diamond_dag):
+        for v in range(4):
+            assert is_cascade(diamond_dag, [v])
+
+    def test_whole_graph_is_cascade(self, diamond_dag):
+        # no cut edges at all -> trivially a cascade
+        assert is_cascade(diamond_dag, range(4))
+
+    def test_non_cascade(self):
+        # U = {1, 2} in the diamond: 1 and 2 both have incoming and
+        # outgoing cut edges but no walk connects them.
+        dag = DAG.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert not is_cascade(dag, [1, 2])
+
+    def test_chain_segment_is_cascade(self):
+        dag = DAG.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert is_cascade(dag, [1, 2, 3])
+
+    def test_partition_checker(self, diamond_dag):
+        assert is_cascade_partition(
+            diamond_dag, [np.array([0]), np.array([1]), np.array([2]),
+                          np.array([3])]
+        )
+        assert not is_cascade_partition(
+            diamond_dag, [np.array([0]), np.array([1, 2]), np.array([3])]
+        )
+        # not a partition at all
+        assert not is_cascade_partition(
+            diamond_dag, [np.array([0, 1]), np.array([1, 2, 3])]
+        )
+
+
+class TestFunnelPartition:
+    def test_in_tree_collapses(self):
+        """An in-tree is an in-funnel (footnote 2 of the paper)."""
+        dag = DAG.from_edges(5, [(0, 4), (1, 4), (2, 4), (3, 4)])
+        parts = in_funnel_partition(dag)
+        sizes = sorted(p.size for p in parts)
+        assert sizes == [5]
+
+    def test_chain_collapses(self):
+        dag = DAG.from_edges(6, [(i, i + 1) for i in range(5)])
+        parts = in_funnel_partition(dag)
+        assert len(parts) == 1
+
+    def test_max_weight_respected(self):
+        dag = DAG.from_edges(6, [(i, i + 1) for i in range(5)])
+        parts = in_funnel_partition(dag, max_weight=2)
+        assert all(dag.weights[p].sum() <= 2 for p in parts)
+
+    def test_out_funnel_on_out_tree(self):
+        dag = DAG.from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        parts = out_funnel_partition(dag)
+        assert sorted(p.size for p in parts) == [5]
+        # in-funnel partition cannot merge an out-tree into one part
+        in_parts = in_funnel_partition(dag)
+        assert len(in_parts) > 1
+
+    def test_invalid_max_weight(self):
+        dag = DAG.from_edges(2, [(0, 1)])
+        with pytest.raises(Exception):
+            in_funnel_partition(dag, max_weight=0)
+
+
+class TestQuotient:
+    def test_weights_summed(self, paper_figure_dag):
+        parts = [np.array([0, 1, 2]), np.array([3, 4, 5])]
+        # {0,1,2} is an in-funnel (0,1 feed 2); {3,4,5}: 3->5, 4 isolated
+        result = coarsen(paper_figure_dag, parts)
+        assert result.coarse.n == 2
+        assert sorted(result.coarse.weights.tolist()) == [5, 6]
+
+    def test_cycle_detected(self):
+        # contracting {0, 2} with 0 -> 1 -> 2 creates a 2-cycle
+        dag = DAG.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(InvalidPartitionError):
+            coarsen(dag, [np.array([0, 2]), np.array([1])])
+
+    def test_partition_from_parts_validation(self):
+        with pytest.raises(InvalidPartitionError):
+            partition_from_parts(3, [np.array([0, 1])])  # missing 2
+        with pytest.raises(InvalidPartitionError):
+            partition_from_parts(3, [np.array([0, 1]), np.array([1, 2])])
+        with pytest.raises(InvalidPartitionError):
+            partition_from_parts(2, [np.array([0, 5])])
+
+    def test_coarse_ids_topologically_ordered(self, paper_figure_dag):
+        parts = in_funnel_partition(paper_figure_dag)
+        result = coarsen(paper_figure_dag, parts)
+        src, dst = result.coarse.edges()
+        assert np.all(src < dst)
+
+
+class TestPullback:
+    def test_pullback_is_valid_schedule(self, paper_figure_dag):
+        parts = in_funnel_partition(paper_figure_dag, max_weight=5)
+        result = coarsen(paper_figure_dag, parts)
+        coarse_schedule = GrowLocalScheduler().schedule(result.coarse, 2)
+        fine = pull_back_schedule(result, coarse_schedule)
+        fine.validate(paper_figure_dag)
+        assert fine.n == paper_figure_dag.n
+
+
+@settings(max_examples=30, deadline=None)
+@given(dags(max_n=25))
+def test_property_funnel_partition_is_cascade_partition(dag):
+    parts = in_funnel_partition(dag)
+    assert is_cascade_partition(dag, parts)
+    assert all(is_in_funnel(dag, p) for p in parts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dags(max_n=25))
+def test_property_funnel_partition_with_cap(dag):
+    cap = max(int(dag.weights.max()), 3)
+    parts = in_funnel_partition(dag, max_weight=cap)
+    assert is_cascade_partition(dag, parts)
+    assert all(dag.weights[p].sum() <= cap or p.size == 1 for p in parts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dags(max_n=25))
+def test_property_coarsen_preserves_acyclicity(dag):
+    """Proposition 4.3: contracting cascades keeps the DAG acyclic."""
+    parts = in_funnel_partition(dag)
+    result = coarsen(dag, parts)
+    assert is_acyclic(result.coarse)
+    assert result.coarse.total_weight() == dag.total_weight()
+
+
+@settings(max_examples=30, deadline=None)
+@given(dags(max_n=25))
+def test_property_out_funnels_are_cascades(dag):
+    parts = out_funnel_partition(dag)
+    assert is_cascade_partition(dag, parts)

@@ -1,0 +1,69 @@
+"""Tests for the incremental COO builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.matrix.coo import COOBuilder
+
+
+def test_single_entries():
+    b = COOBuilder(3)
+    b.add(0, 0, 1.0)
+    b.add(2, 1, 4.0)
+    m = b.build()
+    assert m.nnz == 2
+    assert m.to_dense()[2, 1] == 4.0
+
+
+def test_batches_and_duplicates():
+    b = COOBuilder(4)
+    b.add_batch([0, 1], [0, 1], [1.0, 2.0])
+    b.add_batch([1], [1], [3.0])  # duplicate of (1, 1)
+    m = b.build()
+    assert m.to_dense()[1, 1] == 5.0
+
+
+def test_duplicates_rejected_on_request():
+    b = COOBuilder(2)
+    b.add(0, 0, 1.0)
+    b.add(0, 0, 1.0)
+    with pytest.raises(MatrixFormatError):
+        b.build(sum_duplicates=False)
+
+
+def test_add_diagonal():
+    b = COOBuilder(3)
+    b.add_diagonal(np.array([1.0, 2.0, 3.0]))
+    m = b.build()
+    np.testing.assert_allclose(m.diagonal(), [1.0, 2.0, 3.0])
+
+
+def test_add_diagonal_wrong_length():
+    b = COOBuilder(3)
+    with pytest.raises(MatrixFormatError):
+        b.add_diagonal(np.ones(2))
+
+
+def test_entry_count():
+    b = COOBuilder(5)
+    assert b.entry_count == 0
+    b.add_batch([0, 1, 2], [0, 0, 0], [1.0, 1.0, 1.0])
+    assert b.entry_count == 3
+
+
+def test_empty_build():
+    m = COOBuilder(4).build()
+    assert m.n == 4
+    assert m.nnz == 0
+
+
+def test_batch_length_mismatch():
+    b = COOBuilder(2)
+    with pytest.raises(MatrixFormatError):
+        b.add_batch([0, 1], [0], [1.0, 2.0])
+
+
+def test_negative_dimension():
+    with pytest.raises(MatrixFormatError):
+        COOBuilder(-1)

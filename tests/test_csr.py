@@ -1,0 +1,194 @@
+"""Unit and property tests for the CSR matrix container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import MatrixFormatError
+from repro.matrix.csr import CSRMatrix
+from tests.conftest import lower_triangular_matrices
+
+
+class TestConstruction:
+    def test_from_coo_basic(self):
+        m = CSRMatrix.from_coo(3, [0, 1, 2, 2], [0, 1, 0, 2],
+                               [1.0, 2.0, 3.0, 4.0])
+        assert m.n == 3
+        assert m.nnz == 4
+        dense = m.to_dense()
+        assert dense[0, 0] == 1.0
+        assert dense[2, 0] == 3.0
+        assert dense[2, 2] == 4.0
+
+    def test_from_coo_sums_duplicates(self):
+        m = CSRMatrix.from_coo(2, [0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+        assert m.nnz == 2
+        assert m.to_dense()[0, 1] == 3.0
+
+    def test_from_coo_rejects_duplicates_when_asked(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix.from_coo(2, [0, 0], [1, 1], [1.0, 2.0],
+                               sum_duplicates=False)
+
+    def test_from_coo_out_of_range(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix.from_coo(2, [0, 2], [0, 0], [1.0, 1.0])
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix.from_coo(2, [0, 1], [0, -1], [1.0, 1.0])
+
+    def test_from_coo_length_mismatch(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix.from_coo(2, [0], [0, 1], [1.0, 1.0])
+
+    def test_from_dense_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = rng.random((7, 7)) * (rng.random((7, 7)) < 0.4)
+        m = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(m.to_dense(), dense)
+
+    def test_from_dense_rejects_non_square(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix.from_dense(np.ones((2, 3)))
+
+    def test_from_scipy_roundtrip(self):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(1)
+        s = sp.random(20, 20, density=0.2, random_state=rng, format="csr")
+        m = CSRMatrix.from_scipy(s)
+        np.testing.assert_allclose(m.to_dense(), s.toarray())
+        back = m.to_scipy()
+        np.testing.assert_allclose(back.toarray(), s.toarray())
+
+    def test_identity(self):
+        m = CSRMatrix.identity(5)
+        np.testing.assert_allclose(m.to_dense(), np.eye(5))
+
+    def test_empty_matrix(self):
+        m = CSRMatrix.from_coo(0, [], [], [])
+        assert m.n == 0
+        assert m.nnz == 0
+
+    def test_validation_bad_indptr(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix(2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_validation_decreasing_indptr(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix(2, np.array([0, 1, 0]), np.array([0]),
+                      np.array([1.0]))
+
+    def test_validation_unsorted_row(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix(2, np.array([0, 2, 2]), np.array([1, 0]),
+                      np.array([1.0, 2.0]))
+
+    def test_validation_column_out_of_range(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix(2, np.array([0, 1, 2]), np.array([0, 5]),
+                      np.array([1.0, 2.0]))
+
+
+class TestStructure:
+    def test_triangularity_predicates(self):
+        lower = CSRMatrix.from_coo(3, [0, 1, 2], [0, 0, 1], [1, 1, 1])
+        assert lower.is_lower_triangular()
+        assert not lower.is_upper_triangular()
+        assert lower.is_lower_triangular(strict=False)
+        strict = CSRMatrix.from_coo(3, [1, 2], [0, 1], [1, 1])
+        assert strict.is_lower_triangular(strict=True)
+
+    def test_diagonal_extraction(self):
+        m = CSRMatrix.from_coo(3, [0, 1, 2, 2], [0, 1, 0, 2],
+                               [2.0, 3.0, 9.0, 4.0])
+        np.testing.assert_allclose(m.diagonal(), [2.0, 3.0, 4.0])
+
+    def test_diagonal_missing_entries(self):
+        m = CSRMatrix.from_coo(3, [1, 2], [0, 0], [1.0, 1.0])
+        np.testing.assert_allclose(m.diagonal(), [0.0, 0.0, 0.0])
+
+    def test_has_full_diagonal(self):
+        assert CSRMatrix.identity(4).has_full_diagonal()
+        m = CSRMatrix.from_coo(2, [1], [0], [1.0])
+        assert not m.has_full_diagonal()
+
+    def test_row_access(self):
+        m = CSRMatrix.from_coo(3, [2, 2], [0, 2], [5.0, 6.0])
+        cols, vals = m.row(2)
+        np.testing.assert_array_equal(cols, [0, 2])
+        np.testing.assert_allclose(vals, [5.0, 6.0])
+        cols0, _ = m.row(0)
+        assert cols0.size == 0
+
+    def test_row_nnz(self):
+        m = CSRMatrix.from_coo(3, [0, 2, 2], [0, 0, 1], [1, 1, 1])
+        np.testing.assert_array_equal(m.row_nnz(), [1, 0, 2])
+
+
+class TestTransforms:
+    def test_transpose_involution(self):
+        rng = np.random.default_rng(3)
+        dense = rng.random((9, 9)) * (rng.random((9, 9)) < 0.3)
+        m = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(m.transpose().to_dense(), dense.T)
+        np.testing.assert_allclose(
+            m.transpose().transpose().to_dense(), dense
+        )
+
+    def test_lower_upper_triangle_partition(self):
+        rng = np.random.default_rng(4)
+        dense = rng.random((8, 8))
+        m = CSRMatrix.from_dense(dense)
+        lo = m.lower_triangle()
+        up = m.upper_triangle(keep_diagonal=False)
+        np.testing.assert_allclose(
+            lo.to_dense() + up.to_dense(), dense
+        )
+        assert lo.is_lower_triangular()
+        assert up.is_upper_triangular(strict=True)
+
+    def test_with_unit_diagonal(self):
+        m = CSRMatrix.from_coo(3, [1, 2], [0, 1], [7.0, 8.0])
+        u = m.with_unit_diagonal()
+        np.testing.assert_allclose(np.diag(u.to_dense()), [1, 1, 1])
+        assert u.to_dense()[1, 0] == 7.0
+
+    def test_matvec_matches_dense(self):
+        rng = np.random.default_rng(5)
+        dense = rng.random((10, 10)) * (rng.random((10, 10)) < 0.5)
+        m = CSRMatrix.from_dense(dense)
+        x = rng.random(10)
+        np.testing.assert_allclose(m.matvec(x), dense @ x)
+
+    def test_matvec_wrong_shape(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix.identity(3).matvec(np.ones(4))
+
+    def test_equality(self):
+        a = CSRMatrix.identity(3)
+        b = CSRMatrix.identity(3)
+        assert a == b
+        c = CSRMatrix.from_coo(3, [0, 1, 2], [0, 1, 2], [1.0, 2.0, 1.0])
+        assert a != c
+
+
+@settings(max_examples=50, deadline=None)
+@given(lower_triangular_matrices(max_n=25))
+def test_property_lower_triangle_identity(m):
+    """Taking the lower triangle of a lower-triangular matrix is a no-op."""
+    assert m.lower_triangle() == m
+
+
+@settings(max_examples=50, deadline=None)
+@given(lower_triangular_matrices(max_n=25))
+def test_property_transpose_flips_triangularity(m):
+    t = m.transpose()
+    assert t.is_upper_triangular()
+    assert t.nnz == m.nnz
+
+
+@settings(max_examples=50, deadline=None)
+@given(lower_triangular_matrices(max_n=20))
+def test_property_scipy_roundtrip(m):
+    back = CSRMatrix.from_scipy(m.to_scipy())
+    assert back == m

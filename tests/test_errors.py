@@ -1,0 +1,44 @@
+"""The exception hierarchy: everything catchable via ReproError."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InvalidPartitionError,
+    InvalidScheduleError,
+    MatrixFormatError,
+    NotTriangularError,
+    ReproError,
+    SingularMatrixError,
+)
+
+
+def test_hierarchy():
+    for exc in (ConfigurationError, InvalidPartitionError,
+                InvalidScheduleError, MatrixFormatError,
+                NotTriangularError, SingularMatrixError):
+        assert issubclass(exc, ReproError)
+    assert issubclass(NotTriangularError, MatrixFormatError)
+
+
+def test_library_errors_catchable_as_base():
+    from repro.matrix.csr import CSRMatrix
+
+    with pytest.raises(ReproError):
+        CSRMatrix.from_coo(2, [0], [5], [1.0])
+    with pytest.raises(ReproError):
+        from repro.scheduler import make_scheduler
+
+        make_scheduler("does-not-exist")
+    with pytest.raises(ReproError):
+        from repro.machine.model import get_machine
+
+        get_machine("does-not-exist")
+
+
+def test_require_lower_triangular_raises_specific():
+    from repro.matrix.csr import CSRMatrix
+
+    upper = CSRMatrix.from_coo(2, [0], [1], [1.0])
+    with pytest.raises(NotTriangularError):
+        upper.require_lower_triangular()

@@ -1,0 +1,152 @@
+"""Tests for the experiment harness: datasets, runner, tables, figures.
+
+Dataset builders for the large proxy sets are exercised by the benchmark
+harness; here we test the machinery on small instances and the fast random
+datasets so the suite stays quick.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.datasets import (
+    DatasetInstance,
+    build_dataset,
+    dataset_names,
+)
+from repro.experiments.figures import (
+    figure_1_2_series,
+    figure_7_1_series,
+    figure_b1_series,
+)
+from repro.experiments.runner import run_instance, run_suite
+from repro.experiments.tables import format_paper_comparison, format_table
+from repro.machine.model import MachineModel
+from repro.matrix.generators import erdos_renyi_lower
+from repro.scheduler import (
+    GrowLocalScheduler,
+    SpMPScheduler,
+    WavefrontScheduler,
+)
+
+TINY_MACHINE = MachineModel(
+    name="tiny", n_cores=4, barrier_latency=50.0, cache_lines=64,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_instance():
+    return DatasetInstance("tiny_er", erdos_renyi_lower(400, 0.01, seed=0))
+
+
+class TestDatasetInstance:
+    def test_stats(self, tiny_instance):
+        assert tiny_instance.n == 400
+        assert tiny_instance.n_wavefronts >= 1
+        assert tiny_instance.avg_wavefront == pytest.approx(
+            400 / tiny_instance.n_wavefronts
+        )
+        assert tiny_instance.flops == 2 * tiny_instance.nnz - 400
+
+    def test_names(self):
+        assert dataset_names() == [
+            "suitesparse", "metis", "ichol", "erdos_renyi", "narrow_band"
+        ]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            build_dataset("imagenet")
+
+
+class TestRunner:
+    def test_run_instance_fields(self, tiny_instance):
+        r = run_instance(tiny_instance, GrowLocalScheduler(), TINY_MACHINE)
+        assert r.instance == "tiny_er"
+        assert r.scheduler == "growlocal"
+        assert r.n_cores == 4
+        assert r.speedup > 0
+        assert r.parallel_cycles > 0
+        assert r.serial_cycles > 0
+        assert r.speedup == pytest.approx(
+            r.serial_cycles / r.parallel_cycles
+        )
+        assert r.reordered  # GrowLocal reorders by default
+        assert r.scheduling_seconds > 0
+        assert r.barrier_reduction == pytest.approx(
+            tiny_instance.n_wavefronts / r.n_supersteps
+        )
+
+    def test_reorder_override(self, tiny_instance):
+        r = run_instance(tiny_instance, GrowLocalScheduler(), TINY_MACHINE,
+                         reorder=False)
+        assert not r.reordered
+
+    def test_baselines_do_not_reorder(self, tiny_instance):
+        r = run_instance(tiny_instance, WavefrontScheduler(), TINY_MACHINE)
+        assert not r.reordered
+
+    def test_async_path(self, tiny_instance):
+        r = run_instance(tiny_instance, SpMPScheduler(), TINY_MACHINE)
+        assert r.scheduler == "spmp"
+        assert r.speedup > 0
+
+    def test_core_cap(self, tiny_instance):
+        r = run_instance(tiny_instance, WavefrontScheduler(), TINY_MACHINE,
+                         n_cores=100)
+        assert r.n_cores == 4
+
+    def test_run_suite_grouping(self, tiny_instance):
+        res = run_suite(
+            [tiny_instance],
+            {"gl": GrowLocalScheduler(), "wf": WavefrontScheduler()},
+            TINY_MACHINE,
+        )
+        assert set(res) == {"gl", "wf"}
+        assert len(res["gl"]) == 1
+
+
+class TestFigures:
+    def _results(self, tiny_instance):
+        return run_suite(
+            [tiny_instance],
+            {"gl": GrowLocalScheduler(), "wf": WavefrontScheduler()},
+            TINY_MACHINE,
+        )
+
+    def test_figure_1_2(self, tiny_instance):
+        series = figure_1_2_series(self._results(tiny_instance))
+        assert set(series) == {"gl", "wf"}
+        for row in series.values():
+            assert row["q25"] <= row["geomean"] * 1.5
+            assert {"geomean", "q25", "q75"} <= set(row)
+
+    def test_figure_7_1(self, tiny_instance):
+        prof = figure_7_1_series(self._results(tiny_instance))
+        assert "thresholds" in prof
+        # at the largest threshold every algorithm covers everything
+        assert prof["gl"][-1] == 1.0 or prof["wf"][-1] == 1.0
+
+    def test_figure_b1(self):
+        series = figure_b1_series([100, 1000], [0.01, 0.1])
+        assert series["fit_seconds"].shape == (2,)
+        # unit-slope fit: ratio of fits equals ratio of nnz
+        assert series["fit_seconds"][1] / series["fit_seconds"][0] == (
+            pytest.approx(10.0)
+        )
+
+
+class TestTables:
+    def test_format_table(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.234], ["b", 5.0]], title="T"
+        )
+        assert "T" in out
+        assert "1.23" in out
+        assert out.count("\n") == 4
+
+    def test_paper_comparison(self):
+        out = format_paper_comparison(
+            "set", {"gl": 1.5}, {"gl": 10.79}
+        )
+        assert "measured" in out and "paper" in out
+        assert "10.79" in out

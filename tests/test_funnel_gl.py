@@ -1,0 +1,80 @@
+"""Tests specific to the Funnel+GrowLocal composite scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.dag import DAG
+from repro.scheduler import FunnelGrowLocalScheduler, GrowLocalScheduler
+from tests.conftest import dag_and_cores
+
+
+class TestConfiguration:
+    def test_invalid_factor(self):
+        with pytest.raises(Exception):
+            FunnelGrowLocalScheduler(max_weight_factor=0.0)
+
+    def test_custom_inner(self):
+        inner = GrowLocalScheduler(sync_penalty=100.0)
+        sched = FunnelGrowLocalScheduler(inner)
+        assert sched.inner.sync_penalty == 100.0
+
+    def test_no_reduction_mode(self, small_er_lower):
+        dag = DAG.from_lower_triangular(small_er_lower)
+        s = FunnelGrowLocalScheduler(
+            transitive_reduction=False
+        ).schedule(dag, 4)
+        s.validate(dag)
+
+
+class TestBehaviour:
+    def test_reduces_barriers_on_chains(self):
+        """Coarsening collapses hanging chains, so Funnel+GL needs at most
+        as many supersteps as plain GL on chain-heavy DAGs (Section 7.3's
+        'reduce the number of synchronization barriers even further')."""
+        # a comb: a long spine with chains hanging off it
+        edges = []
+        spine = list(range(0, 40))
+        for i in range(39):
+            edges.append((spine[i], spine[i + 1]))
+        nxt = 40
+        for i in range(0, 40, 4):
+            for k in range(3):
+                src = spine[i] if k == 0 else nxt - 1
+                edges.append((src, nxt))
+                nxt += 1
+        dag = DAG.from_edges(nxt, edges)
+        gl = GrowLocalScheduler().schedule(dag, 4)
+        fgl = FunnelGrowLocalScheduler().schedule(dag, 4)
+        fgl.validate(dag)
+        assert fgl.n_supersteps <= gl.n_supersteps + 1
+
+    def test_empty_dag(self):
+        s = FunnelGrowLocalScheduler().schedule(DAG.from_edges(0, []), 2)
+        assert s.n == 0
+
+    def test_single_vertex(self):
+        s = FunnelGrowLocalScheduler().schedule(DAG.from_edges(1, []), 4)
+        assert s.n == 1
+        assert s.n_supersteps == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(dag_and_cores(max_n=35, max_cores=5))
+def test_property_valid_and_complete(dc):
+    dag, cores = dc
+    s = FunnelGrowLocalScheduler().schedule(dag, cores)
+    s.validate(dag)
+    assert s.n == dag.n
+    assert s.work_matrix(dag).sum() == dag.total_weight()
+
+
+@settings(max_examples=20, deadline=None)
+@given(dag_and_cores(max_n=35, max_cores=4))
+def test_property_weight_cap_variants_all_valid(dc):
+    dag, cores = dc
+    for factor in (1.0, 4.0, 64.0):
+        s = FunnelGrowLocalScheduler(
+            max_weight_factor=factor
+        ).schedule(dag, cores)
+        s.validate(dag)

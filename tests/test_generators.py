@@ -1,0 +1,241 @@
+"""Tests for the matrix generators of the five datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.dag import DAG
+from repro.graph.wavefront import critical_path_length
+from repro.matrix.generators import (
+    arrow_matrix,
+    banded_stencil_lower,
+    erdos_renyi_lower,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    grid_laplacian_9pt,
+    kron_expand,
+    narrow_band_lower,
+    parabolic_like,
+    random_geometric_spd,
+    random_values_lower,
+    rcm_mesh,
+    shell_block_banded,
+    spd_from_edges,
+)
+from repro.matrix.properties import is_structurally_symmetric
+
+
+class TestErdosRenyi:
+    def test_is_lower_triangular_with_diagonal(self):
+        m = erdos_renyi_lower(200, 0.02, seed=0)
+        assert m.is_lower_triangular()
+        assert m.has_full_diagonal()
+
+    def test_deterministic(self):
+        a = erdos_renyi_lower(100, 0.05, seed=7)
+        b = erdos_renyi_lower(100, 0.05, seed=7)
+        assert a == b
+
+    def test_density_matches_p(self):
+        n, p = 400, 0.05
+        m = erdos_renyi_lower(n, p, seed=1)
+        strict = m.nnz - n
+        expected = p * n * (n - 1) / 2
+        assert abs(strict - expected) < 5 * np.sqrt(expected)
+
+    def test_p_zero_is_diagonal(self):
+        m = erdos_renyi_lower(50, 0.0, seed=0)
+        assert m.nnz == 50
+
+    def test_value_distributions(self):
+        m = erdos_renyi_lower(500, 0.05, seed=3)
+        d = m.diagonal()
+        assert np.all(np.abs(d) >= 0.5 - 1e-12)
+        assert np.all(np.abs(d) <= 2.0 + 1e-12)
+        rows = np.repeat(np.arange(m.n), m.row_nnz())
+        off = m.data[m.indices != rows]
+        assert np.all(np.abs(off) <= 2.0 + 1e-12)
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_lower(10, 1.5)
+
+
+class TestNarrowBand:
+    def test_lower_triangular(self):
+        m = narrow_band_lower(300, 0.14, 10.0, seed=0)
+        assert m.is_lower_triangular()
+        assert m.has_full_diagonal()
+
+    def test_band_concentration(self):
+        m = narrow_band_lower(500, 0.14, 10.0, seed=1)
+        rows = np.repeat(np.arange(m.n), m.row_nnz())
+        dist = rows - m.indices
+        off = dist[dist > 0]
+        # the paper's exp((1+j-i)/B) law concentrates mass within ~4B
+        assert np.quantile(off, 0.95) < 6 * 10.0
+
+    def test_harder_than_er(self):
+        """Narrow-band DAGs have far smaller wavefronts than ER at equal
+        size (Section 6.2.5: 'much harder to parallelize by design')."""
+        nb = narrow_band_lower(800, 0.14, 10.0, seed=2)
+        er = erdos_renyi_lower(800, 0.001, seed=2)
+        nb_wf = 800 / critical_path_length(DAG.from_lower_triangular(nb))
+        er_wf = 800 / critical_path_length(DAG.from_lower_triangular(er))
+        assert nb_wf < er_wf
+
+    def test_invalid_band(self):
+        with pytest.raises(ConfigurationError):
+            narrow_band_lower(10, 0.1, 0.0)
+
+
+class TestGrids:
+    def test_grid_2d_shape_and_symmetry(self):
+        m = grid_laplacian_2d(5, 7)
+        assert m.n == 35
+        assert is_structurally_symmetric(m)
+        # interior vertex has 4 neighbours + diagonal
+        assert m.row_nnz().max() == 5
+
+    def test_grid_2d_diagonally_dominant(self):
+        m = grid_laplacian_2d(6, 6)
+        dense = m.to_dense()
+        off = np.abs(dense).sum(axis=1) - np.abs(np.diag(dense))
+        assert np.all(np.diag(dense) > off - 1e-12)
+
+    def test_grid_9pt_denser(self):
+        m5 = grid_laplacian_2d(6, 6)
+        m9 = grid_laplacian_9pt(6, 6)
+        assert m9.nnz > m5.nnz
+
+    def test_grid_3d(self):
+        m = grid_laplacian_3d(3, 4, 5)
+        assert m.n == 60
+        assert is_structurally_symmetric(m)
+        assert m.row_nnz().max() == 7
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            grid_laplacian_2d(0, 5)
+        with pytest.raises(ConfigurationError):
+            grid_laplacian_3d(1, 0, 1)
+
+
+class TestRcmMesh:
+    def test_levels_are_wavefronts(self):
+        m = rcm_mesh(10, 8, reach=1, seed=0)
+        dag = DAG.from_lower_triangular(m.lower_triangle())
+        assert critical_path_length(dag) == 10
+
+    def test_lateral_prob_reduces_edges(self):
+        dense_m = rcm_mesh(20, 20, reach=1, lateral_prob=1.0, seed=1)
+        sparse_m = rcm_mesh(20, 20, reach=1, lateral_prob=0.2, seed=1)
+        assert sparse_m.nnz < dense_m.nnz
+
+    def test_long_edges_stay_backward(self):
+        m = rcm_mesh(30, 10, reach=1, long_edge_prob=0.5, seed=2)
+        assert is_structurally_symmetric(m)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            rcm_mesh(0, 5)
+        with pytest.raises(ConfigurationError):
+            rcm_mesh(5, 5, lateral_prob=1.5)
+
+
+class TestKronExpand:
+    def test_block_structure(self):
+        base = grid_laplacian_2d(3, 3)
+        big = kron_expand(base, 3, seed=0)
+        assert big.n == base.n * 3
+        assert is_structurally_symmetric(big)
+
+    def test_diagonal_intra_block_widens_wavefronts(self):
+        base = grid_laplacian_2d(6, 6)
+        diag_block = kron_expand(base, 4, seed=1)
+        dense_block = kron_expand(base, 4, dense_diagonal_block=True, seed=1)
+        wf_diag = critical_path_length(
+            DAG.from_lower_triangular(diag_block.lower_triangle())
+        )
+        wf_dense = critical_path_length(
+            DAG.from_lower_triangular(dense_block.lower_triangle())
+        )
+        assert wf_diag < wf_dense
+
+    def test_symmetric_values(self):
+        big = kron_expand(grid_laplacian_2d(3, 3), 2, seed=2)
+        dense = big.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_invalid_block(self):
+        with pytest.raises(ConfigurationError):
+            kron_expand(grid_laplacian_2d(2, 2), 0)
+
+
+class TestOutliers:
+    def test_parabolic_depth_two(self):
+        m = parabolic_like(500, pool=50, degree=3, seed=0)
+        dag = DAG.from_lower_triangular(m.lower_triangle())
+        assert critical_path_length(dag) == 2
+
+    def test_parabolic_invalid_pool(self):
+        with pytest.raises(ConfigurationError):
+            parabolic_like(10, pool=10)
+
+    def test_arrow_depth_two(self):
+        m = arrow_matrix(300, n_arms=8, arm_degree=16, seed=1)
+        dag = DAG.from_lower_triangular(m.lower_triangle())
+        assert critical_path_length(dag) == 2
+
+    def test_arrow_invalid(self):
+        with pytest.raises(ConfigurationError):
+            arrow_matrix(10, n_arms=10)
+
+
+class TestOthers:
+    def test_banded_stencil_band_respected(self):
+        m = banded_stencil_lower(300, 50, 4, seed=0)
+        assert m.is_lower_triangular()
+        rows = np.repeat(np.arange(m.n), m.row_nnz())
+        dist = rows - m.indices
+        off = dist[dist > 0]
+        assert off.max() <= 50
+        assert off.min() >= int(0.33 * 50)
+
+    def test_banded_stencil_invalid(self):
+        with pytest.raises(ConfigurationError):
+            banded_stencil_lower(10, 1, 1)
+
+    def test_shell_block_banded(self):
+        m = shell_block_banded(10, 8, seed=0)
+        assert m.n == 80
+        assert is_structurally_symmetric(m)
+
+    def test_geometric_spd(self):
+        m = random_geometric_spd(200, radius=0.1, seed=0)
+        assert is_structurally_symmetric(m)
+        dense = m.to_dense()
+        off = np.abs(dense).sum(axis=1) - np.abs(np.diag(dense))
+        assert np.all(np.diag(dense) > off - 1e-12)
+
+    def test_spd_from_edges(self):
+        m = spd_from_edges(4, [0, 1], [1, 2])
+        dense = m.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        # eigenvalues positive (strict diagonal dominance)
+        assert np.all(np.linalg.eigvalsh(dense) > 0)
+
+    def test_random_values_lower_rejects_upper(self):
+        with pytest.raises(ConfigurationError):
+            random_values_lower(3, np.array([0]), np.array([1]))
+
+    def test_all_deterministic(self):
+        for build in [
+            lambda s: narrow_band_lower(100, 0.1, 5.0, seed=s),
+            lambda s: rcm_mesh(5, 5, seed=s),
+            lambda s: parabolic_like(50, pool=10, seed=s),
+            lambda s: banded_stencil_lower(60, 10, 2, seed=s),
+            lambda s: random_geometric_spd(60, radius=0.2, seed=s),
+            lambda s: kron_expand(grid_laplacian_2d(3, 3), 2, seed=s),
+        ]:
+            assert build(5) == build(5)

@@ -1,0 +1,98 @@
+"""White-box tests of HDagg's building blocks: the union-find structure
+and component-wise packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dag import DAG
+from repro.scheduler.hdagg import HDaggScheduler, _DSU
+
+
+class TestDSU:
+    def test_initially_disjoint(self):
+        dsu = _DSU(5)
+        assert len({dsu.find(i) for i in range(5)}) == 5
+
+    def test_union_merges(self):
+        dsu = _DSU(4)
+        dsu.union(0, 1)
+        dsu.union(2, 3)
+        assert dsu.find(0) == dsu.find(1)
+        assert dsu.find(2) == dsu.find(3)
+        assert dsu.find(0) != dsu.find(2)
+        dsu.union(1, 2)
+        assert dsu.find(0) == dsu.find(3)
+
+    def test_union_idempotent(self):
+        dsu = _DSU(3)
+        dsu.union(0, 1)
+        dsu.union(0, 1)
+        assert dsu.find(0) == dsu.find(1)
+        assert dsu.size[dsu.find(0)] == 2
+
+    def test_reset(self):
+        dsu = _DSU(4)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        dsu.reset(np.array([0, 1, 2]))
+        assert len({dsu.find(i) for i in range(3)}) == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)),
+                    max_size=40))
+    def test_property_matches_naive_components(self, edges):
+        dsu = _DSU(20)
+        naive = {i: {i} for i in range(20)}
+        for a, b in edges:
+            dsu.union(a, b)
+            sa = next(s for s in naive.values() if a in s)
+            sb = next(s for s in naive.values() if b in s)
+            if sa is not sb:
+                sa |= sb
+                for v in sb:
+                    naive[v] = sa
+        for i in range(20):
+            for j in range(20):
+                same_dsu = dsu.find(i) == dsu.find(j)
+                same_naive = j in naive[i]
+                assert same_dsu == same_naive
+
+
+class TestPacking:
+    def test_components_never_split(self):
+        """Whatever HDagg glues, no dependency may cross cores inside a
+        superstep — verified by schedule validation on a graph with many
+        small components."""
+        edges = []
+        for c in range(10):
+            base = 3 * c
+            edges += [(base, base + 1), (base + 1, base + 2)]
+        dag = DAG.from_edges(30, edges)
+        s = HDaggScheduler(use_coarsening=False,
+                           imbalance_threshold=3.0).schedule(dag, 3)
+        s.validate(dag)
+        # gluing must happen: 10 independent chains of depth 3 can pack
+        # into a single superstep under a generous balance bound
+        assert s.n_supersteps == 1
+
+    def test_empty_core_blocks_gluing(self):
+        """With more cores than components, the all-cores-busy criterion
+        fails and HDagg falls back to per-level supersteps."""
+        edges = [(0, 1), (1, 2)]
+        dag = DAG.from_edges(3, edges)
+        s = HDaggScheduler(use_coarsening=False).schedule(dag, 2)
+        assert s.n_supersteps == 3  # one chain, two cores: never glues
+
+    def test_threshold_monotonicity(self, small_er_lower):
+        from repro.graph.dag import DAG as _DAG
+
+        dag = _DAG.from_lower_triangular(small_er_lower)
+        steps = [
+            HDaggScheduler(use_coarsening=False,
+                           imbalance_threshold=t).schedule(dag, 4)
+            .n_supersteps
+            for t in (1.0, 1.5, 4.0)
+        ]
+        assert steps[0] >= steps[1] >= steps[2]

@@ -1,0 +1,84 @@
+"""Tests for the IC(0) incomplete Cholesky factorization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.matrix.csr import CSRMatrix
+from repro.matrix.generators import grid_laplacian_2d, random_geometric_spd
+from repro.matrix.ichol import ichol0
+
+
+def test_exact_on_tridiagonal():
+    """On a tridiagonal SPD matrix IC(0) equals the exact Cholesky factor
+    (no fill is dropped)."""
+    n = 10
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        rows.append(i); cols.append(i); vals.append(2.0)
+        if i > 0:
+            rows.append(i); cols.append(i - 1); vals.append(-1.0)
+            rows.append(i - 1); cols.append(i); vals.append(-1.0)
+    a = CSRMatrix.from_coo(n, rows, cols, vals)
+    factor = ichol0(a)
+    exact = np.linalg.cholesky(a.to_dense())
+    np.testing.assert_allclose(factor.to_dense(), exact, atol=1e-12)
+
+
+def test_pattern_preserved():
+    a = grid_laplacian_2d(6, 6)
+    factor = ichol0(a)
+    lower = a.lower_triangle()
+    np.testing.assert_array_equal(factor.indptr, lower.indptr)
+    np.testing.assert_array_equal(factor.indices, lower.indices)
+
+
+def test_matches_a_on_pattern():
+    """(L L^T)_ij == A_ij wherever tril(A) has an entry."""
+    a = grid_laplacian_2d(5, 5)
+    factor = ichol0(a)
+    product = factor.to_dense() @ factor.to_dense().T
+    dense = a.to_dense()
+    rows = np.repeat(np.arange(a.n), a.lower_triangle().row_nnz())
+    cols = a.lower_triangle().indices
+    np.testing.assert_allclose(product[rows, cols], dense[rows, cols],
+                               atol=1e-10)
+
+
+def test_geometric_mesh():
+    a = random_geometric_spd(120, radius=0.15, seed=0)
+    factor = ichol0(a)
+    assert factor.is_lower_triangular()
+    assert np.all(factor.diagonal() > 0)
+
+
+def test_shift_recovers_indefinite_diagonal():
+    """A matrix with a weak diagonal breaks down at shift 0 but succeeds
+    with the automatic shift schedule."""
+    n = 6
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        rows.append(i); cols.append(i); vals.append(0.05)
+        if i > 0:
+            rows.append(i); cols.append(i - 1); vals.append(-1.0)
+            rows.append(i - 1); cols.append(i); vals.append(-1.0)
+    a = CSRMatrix.from_coo(n, rows, cols, vals)
+    factor = ichol0(a)  # must not raise
+    assert np.all(factor.diagonal() > 0)
+
+
+def test_missing_diagonal_rejected():
+    a = CSRMatrix.from_coo(3, [1, 2], [0, 1], [1.0, 1.0])
+    with pytest.raises(MatrixFormatError):
+        ichol0(a)
+
+
+def test_preconditioner_quality():
+    """kappa(M^-1 A) should be far below kappa(A) for a grid Laplacian."""
+    a = grid_laplacian_2d(7, 7)
+    dense = a.to_dense()
+    factor = ichol0(a).to_dense()
+    m_inv = np.linalg.inv(factor @ factor.T)
+    kappa_a = np.linalg.cond(dense)
+    kappa_pre = np.linalg.cond(m_inv @ dense)
+    assert kappa_pre < kappa_a

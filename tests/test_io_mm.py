@@ -1,0 +1,104 @@
+"""Tests for Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import MatrixFormatError
+from repro.matrix.csr import CSRMatrix
+from repro.matrix.io_mm import read_matrix_market, write_matrix_market
+from tests.conftest import lower_triangular_matrices
+
+
+def test_roundtrip_file(tmp_path):
+    rng = np.random.default_rng(0)
+    dense = rng.random((8, 8)) * (rng.random((8, 8)) < 0.4)
+    np.fill_diagonal(dense, 1.0)
+    m = CSRMatrix.from_dense(dense)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(m, path, comment="test matrix")
+    back = read_matrix_market(path)
+    assert back == m
+
+
+def test_roundtrip_stream():
+    m = CSRMatrix.identity(4)
+    buf = io.StringIO()
+    write_matrix_market(m, buf)
+    buf.seek(0)
+    assert read_matrix_market(buf) == m
+
+
+def test_symmetric_expansion():
+    text = """%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 2 -1.5
+3 3 4.0
+"""
+    m = read_matrix_market(io.StringIO(text))
+    dense = m.to_dense()
+    assert dense[0, 1] == dense[1, 0] == -1.0
+    assert dense[2, 1] == dense[1, 2] == -1.5
+    assert m.nnz == 6  # two off-diagonals mirrored
+
+
+def test_pattern_value_default():
+    text = """%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1
+2 2 3.5
+"""
+    m = read_matrix_market(io.StringIO(text))
+    assert m.to_dense()[0, 0] == 1.0
+    assert m.to_dense()[1, 1] == 3.5
+
+
+def test_rejects_bad_header():
+    with pytest.raises(MatrixFormatError):
+        read_matrix_market(io.StringIO("not a matrix\n1 1 0\n"))
+
+
+def test_rejects_array_format():
+    with pytest.raises(MatrixFormatError):
+        read_matrix_market(
+            io.StringIO("%%MatrixMarket matrix array real general\n2 2\n")
+        )
+
+
+def test_rejects_complex_field():
+    with pytest.raises(MatrixFormatError):
+        read_matrix_market(io.StringIO(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n"
+            "1 1 1.0 0.0\n"))
+
+
+def test_rejects_rectangular():
+    with pytest.raises(MatrixFormatError):
+        read_matrix_market(io.StringIO(
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n"
+            "1 1 1.0\n"))
+
+
+def test_skips_comment_lines():
+    text = """%%MatrixMarket matrix coordinate real general
+% a comment
+% another comment
+2 2 1
+2 1 9.0
+"""
+    m = read_matrix_market(io.StringIO(text))
+    assert m.to_dense()[1, 0] == 9.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(lower_triangular_matrices(max_n=15))
+def test_property_roundtrip(m):
+    buf = io.StringIO()
+    write_matrix_market(m, buf)
+    buf.seek(0)
+    back = read_matrix_market(buf)
+    np.testing.assert_allclose(back.to_dense(), m.to_dense())

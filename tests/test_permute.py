@@ -1,0 +1,97 @@
+"""Tests for permutation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.matrix.csr import CSRMatrix
+from repro.matrix.permute import (
+    inverse_permutation,
+    is_permutation,
+    permute_symmetric,
+    permute_vector,
+    random_permutation,
+    unpermute_vector,
+)
+
+
+def test_is_permutation():
+    assert is_permutation(np.array([2, 0, 1]))
+    assert not is_permutation(np.array([0, 0, 1]))
+    assert not is_permutation(np.array([0, 3, 1]))
+    assert not is_permutation(np.array([[0, 1]]))
+    assert is_permutation(np.array([], dtype=np.int64))
+
+
+def test_inverse_permutation():
+    p = np.array([2, 0, 1])
+    inv = inverse_permutation(p)
+    np.testing.assert_array_equal(inv[p], np.arange(3))
+    np.testing.assert_array_equal(p[inv], np.arange(3))
+
+
+def test_permute_symmetric_matches_dense():
+    rng = np.random.default_rng(0)
+    dense = rng.random((6, 6))
+    m = CSRMatrix.from_dense(dense)
+    perm = random_permutation(6, seed=1)
+    out = permute_symmetric(m, perm).to_dense()
+    expected = np.zeros_like(dense)
+    for i in range(6):
+        for j in range(6):
+            expected[perm[i], perm[j]] = dense[i, j]
+    np.testing.assert_allclose(out, expected)
+
+
+def test_permute_vector_roundtrip():
+    v = np.array([1.0, 2.0, 3.0, 4.0])
+    perm = np.array([3, 1, 0, 2])
+    pv = permute_vector(v, perm)
+    np.testing.assert_allclose(unpermute_vector(pv, perm), v)
+    assert pv[3] == 1.0  # element 0 moved to position perm[0] = 3
+
+
+def test_bad_permutation_rejected():
+    m = CSRMatrix.identity(3)
+    with pytest.raises(ConfigurationError):
+        permute_symmetric(m, np.array([0, 0, 1]))
+    with pytest.raises(ConfigurationError):
+        permute_vector(np.ones(3), np.array([0, 1]))
+
+
+def test_random_permutation_deterministic():
+    a = random_permutation(50, seed=3)
+    b = random_permutation(50, seed=3)
+    np.testing.assert_array_equal(a, b)
+    assert is_permutation(a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+def test_property_symmetric_permutation_preserves_spectrum_proxy(n, seed):
+    """P A P^T preserves the multiset of diagonal values and nnz."""
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n)) * (rng.random((n, n)) < 0.5)
+    np.fill_diagonal(dense, rng.random(n) + 1.0)
+    m = CSRMatrix.from_dense(dense)
+    perm = random_permutation(n, seed=seed)
+    out = permute_symmetric(m, perm)
+    assert out.nnz == m.nnz
+    np.testing.assert_allclose(
+        np.sort(out.diagonal()), np.sort(m.diagonal())
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+def test_property_double_permutation_composes(n, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+    m = CSRMatrix.from_dense(dense)
+    p1 = random_permutation(n, seed=seed)
+    p2 = random_permutation(n, seed=seed + 1)
+    once = permute_symmetric(permute_symmetric(m, p1), p2)
+    composed = permute_symmetric(m, p2[p1])
+    np.testing.assert_allclose(once.to_dense(), composed.to_dense())

@@ -1,0 +1,56 @@
+"""Tests for wavefront-profile analysis."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graph.dag import DAG
+from repro.graph.profile import profile_statistics, wavefront_profile
+from repro.matrix.generators import grid_laplacian_2d, rcm_mesh
+from tests.conftest import dags
+
+
+def test_profile_of_chain():
+    dag = DAG.from_edges(5, [(i, i + 1) for i in range(4)])
+    np.testing.assert_array_equal(wavefront_profile(dag), [1, 1, 1, 1, 1])
+
+
+def test_profile_of_diamond(diamond_dag):
+    np.testing.assert_array_equal(wavefront_profile(diamond_dag),
+                                  [1, 2, 1])
+
+
+def test_grid_has_warmup_ramp():
+    """Single-source grids ramp up linearly — large warmup_levels."""
+    lower = grid_laplacian_2d(20, 20).lower_triangle()
+    stats = profile_statistics(DAG.from_lower_triangular(lower))
+    assert stats["warmup_levels"] > 3
+
+
+def test_rcm_mesh_has_no_warmup():
+    """Level-major meshes are full-width from level 0."""
+    lower = rcm_mesh(10, 50, reach=1, seed=0).lower_triangle()
+    stats = profile_statistics(DAG.from_lower_triangular(lower))
+    assert stats["warmup_levels"] == 0
+    assert stats["median_width"] == 50.0
+    assert stats["levels"] == 10
+
+
+def test_empty_dag():
+    stats = profile_statistics(DAG.from_edges(0, []))
+    assert stats["levels"] == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(dags(max_n=30))
+def test_property_widths_sum_to_n(dag):
+    assert wavefront_profile(dag).sum() == dag.n
+
+
+@settings(max_examples=30, deadline=None)
+@given(dags(max_n=30))
+def test_property_mean_width_is_avg_wavefront(dag):
+    from repro.graph.wavefront import average_wavefront_size
+
+    stats = profile_statistics(dag)
+    if dag.n:
+        assert abs(stats["mean_width"] - average_wavefront_size(dag)) < 1e-9

@@ -1,0 +1,50 @@
+"""Tests for structural matrix properties."""
+
+import numpy as np
+
+from repro.matrix.csr import CSRMatrix
+from repro.matrix.generators import grid_laplacian_2d
+from repro.matrix.properties import (
+    bandwidth,
+    density,
+    flop_count,
+    is_structurally_symmetric,
+    lower_profile,
+)
+
+
+def test_bandwidth_diagonal():
+    assert bandwidth(CSRMatrix.identity(5)) == 0
+
+
+def test_bandwidth_known():
+    m = CSRMatrix.from_coo(5, [4, 2], [0, 1], [1.0, 1.0])
+    assert bandwidth(m) == 4
+
+
+def test_bandwidth_empty():
+    assert bandwidth(CSRMatrix.from_coo(3, [], [], [])) == 0
+
+
+def test_lower_profile():
+    # row 2 reaches back to column 0 -> profile contribution 2
+    m = CSRMatrix.from_coo(3, [0, 1, 2, 2], [0, 1, 0, 2],
+                           [1.0, 1.0, 1.0, 1.0])
+    assert lower_profile(m) == 2
+
+
+def test_structural_symmetry():
+    sym = grid_laplacian_2d(4, 4)
+    assert is_structurally_symmetric(sym)
+    asym = CSRMatrix.from_coo(3, [1, 1], [0, 1], [1.0, 1.0])
+    assert not is_structurally_symmetric(asym)
+
+
+def test_flop_count_formula():
+    lower = grid_laplacian_2d(5, 5).lower_triangle()
+    assert flop_count(lower) == 2 * lower.nnz - lower.n
+
+
+def test_density():
+    assert density(CSRMatrix.identity(4)) == 4 / 16
+    assert density(CSRMatrix.from_coo(0, [], [], [])) == 0.0

@@ -1,0 +1,71 @@
+"""Runner integration with the block scheduler and reordering defaults."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import DatasetInstance
+from repro.experiments.runner import run_instance
+from repro.machine.model import MachineModel
+from repro.matrix.generators import rcm_mesh
+from repro.scheduler import BlockScheduler, GrowLocalScheduler
+
+MACHINE = MachineModel(name="t", n_cores=8, barrier_latency=300.0,
+                       cache_lines=128)
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return DatasetInstance(
+        "runner_mesh",
+        rcm_mesh(40, 80, reach=1, lateral_prob=0.3,
+                 seed=3).lower_triangle(),
+    )
+
+
+def test_block_scheduler_gets_reordering_by_default(inst):
+    """The paper applies reordering to its own algorithms; the block
+    wrapper around GrowLocal inherits that default via its name."""
+    r = run_instance(inst, BlockScheduler(GrowLocalScheduler(), 4),
+                     MACHINE)
+    assert r.scheduler == "block4+growlocal"
+    assert r.reordered
+
+
+def test_block_scheduler_speedup_reasonable(inst):
+    direct = run_instance(inst, GrowLocalScheduler(), MACHINE)
+    blocked = run_instance(inst, BlockScheduler(GrowLocalScheduler(), 4),
+                           MACHINE)
+    # block scheduling trades solve speed for scheduling speed: slower or
+    # equal solve, never catastrophically so (Table 7.7's "moderate")
+    assert blocked.speedup <= direct.speedup * 1.1
+    assert blocked.speedup > 0.25 * direct.speedup
+
+
+def test_block_supersteps_grow_with_blocks(inst):
+    r2 = run_instance(inst, BlockScheduler(GrowLocalScheduler(), 2),
+                      MACHINE)
+    r8 = run_instance(inst, BlockScheduler(GrowLocalScheduler(), 8),
+                      MACHINE)
+    assert r8.n_supersteps >= r2.n_supersteps
+
+
+def test_amortization_improves_with_parallel_scheduling_time(inst):
+    """Using the per-block makespan as the scheduling time (what a real
+    multi-threaded scheduler would pay) lowers the amortization threshold
+    versus the single-thread total — the Table 7.7 effect."""
+    from repro.experiments.metrics import amortization_threshold
+    from repro.machine.serial_sim import simulate_serial
+
+    block = BlockScheduler(GrowLocalScheduler(), 8)
+    r = run_instance(inst, block, MACHINE)
+    serial_s = MACHINE.cycles_to_seconds(
+        simulate_serial(inst.lower, MACHINE)
+    )
+    parallel_s = MACHINE.cycles_to_seconds(r.parallel_cycles)
+    amort_parallel = amortization_threshold(
+        block.parallel_scheduling_time, serial_s, parallel_s
+    )
+    amort_total = amortization_threshold(
+        block.total_scheduling_time, serial_s, parallel_s
+    )
+    assert amort_parallel <= amort_total

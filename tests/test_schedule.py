@@ -1,0 +1,135 @@
+"""Tests for the Schedule container and Definition 2.1 validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ConfigurationError, InvalidScheduleError
+from repro.graph.dag import DAG
+from repro.scheduler.schedule import Schedule
+from tests.conftest import dags
+
+
+class TestConstruction:
+    def test_normalizes_supersteps(self):
+        s = Schedule(np.array([0, 0, 1]), np.array([0, 5, 9]), 2)
+        np.testing.assert_array_equal(s.supersteps, [0, 1, 2])
+        assert s.n_supersteps == 3
+        assert s.n_barriers == 2
+
+    def test_rejects_bad_core(self):
+        with pytest.raises(ConfigurationError):
+            Schedule(np.array([0, 2]), np.array([0, 0]), 2)
+
+    def test_rejects_negative_superstep(self):
+        with pytest.raises(ConfigurationError):
+            Schedule(np.array([0]), np.array([-1]), 1)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Schedule(np.array([0, 0]), np.array([0]), 1)
+
+    def test_empty(self):
+        s = Schedule(np.empty(0, dtype=int), np.empty(0, dtype=int), 3)
+        assert s.n == 0
+        assert s.n_supersteps == 0
+        assert s.n_barriers == 0
+
+
+class TestValidation:
+    def test_valid_diamond(self, diamond_dag):
+        s = Schedule(np.array([0, 0, 1, 0]), np.array([0, 1, 1, 2]), 2)
+        s.validate(diamond_dag)
+
+    def test_same_superstep_same_core_ok(self, diamond_dag):
+        s = Schedule(np.zeros(4, dtype=int), np.zeros(4, dtype=int), 2)
+        s.validate(diamond_dag)
+
+    def test_decreasing_superstep_rejected(self, diamond_dag):
+        s = Schedule(np.array([0, 0, 0, 0]), np.array([1, 0, 1, 1]), 1)
+        with pytest.raises(InvalidScheduleError):
+            s.validate(diamond_dag)
+
+    def test_cross_core_same_superstep_rejected(self, diamond_dag):
+        s = Schedule(np.array([0, 1, 0, 1]), np.array([0, 0, 1, 1]), 2)
+        with pytest.raises(InvalidScheduleError):
+            s.validate(diamond_dag)
+
+    def test_size_mismatch_rejected(self, diamond_dag):
+        s = Schedule(np.zeros(3, dtype=int), np.zeros(3, dtype=int), 1)
+        with pytest.raises(InvalidScheduleError):
+            s.validate(diamond_dag)
+
+    def test_is_valid_boolean(self, diamond_dag):
+        good = Schedule(np.zeros(4, dtype=int), np.zeros(4, dtype=int), 1)
+        assert good.is_valid(diamond_dag)
+        bad = Schedule(np.array([0, 1, 0, 1]), np.zeros(4, dtype=int), 2)
+        assert not bad.is_valid(diamond_dag)
+
+
+class TestMetrics:
+    def test_work_matrix(self, paper_figure_dag):
+        s = Schedule(
+            np.array([0, 1, 0, 0, 1, 0]),
+            np.array([0, 0, 1, 2, 2, 3]),
+            2,
+        )
+        w = s.work_matrix(paper_figure_dag)
+        assert w.shape == (4, 2)
+        assert w[0, 0] == 1 and w[0, 1] == 1
+        assert w[2, 0] == 2 and w[2, 1] == 2
+        assert w.sum() == paper_figure_dag.total_weight()
+
+    def test_bsp_cost(self, paper_figure_dag):
+        s = Schedule(np.zeros(6, dtype=int), np.zeros(6, dtype=int), 2)
+        assert s.bsp_cost(paper_figure_dag, barrier_cost=100.0) == 11.0
+        two = Schedule(
+            np.zeros(6, dtype=int), np.array([0, 0, 0, 1, 1, 1]), 2
+        )
+        assert two.bsp_cost(paper_figure_dag, 100.0) == 11.0 + 100.0
+
+    def test_imbalance(self, paper_figure_dag):
+        s = Schedule(np.array([0, 1, 0, 0, 1, 0]),
+                     np.zeros(6, dtype=int), 2)
+        imb = s.superstep_imbalance(paper_figure_dag)
+        assert imb.shape == (1,)
+        # loads: core0 = 1+3+2+2 = 8, core1 = 1+2 = 3; max/mean = 8/5.5
+        np.testing.assert_allclose(imb[0], 8 / 5.5)
+
+
+class TestLayout:
+    def test_execution_lists(self):
+        s = Schedule(np.array([0, 1, 0]), np.array([0, 0, 1]), 2)
+        lists = s.execution_lists()
+        assert len(lists) == 2
+        np.testing.assert_array_equal(lists[0][0], [0])
+        np.testing.assert_array_equal(lists[0][1], [1])
+        np.testing.assert_array_equal(lists[1][0], [2])
+        assert lists[1][1].size == 0
+
+    def test_core_sequences(self):
+        s = Schedule(np.array([0, 1, 0, 1]), np.array([0, 0, 1, 1]), 2)
+        seqs = s.core_sequences()
+        np.testing.assert_array_equal(seqs[0], [0, 2])
+        np.testing.assert_array_equal(seqs[1], [1, 3])
+
+    def test_reorder_vertices_roundtrip(self, diamond_dag):
+        s = Schedule(np.array([0, 0, 1, 0]), np.array([0, 1, 1, 2]), 2)
+        perm = np.array([3, 1, 0, 2])
+        r = s.reorder_vertices(perm)
+        for old, new in enumerate(perm):
+            assert r.cores[new] == s.cores[old]
+            assert r.supersteps[new] == s.supersteps[old]
+
+
+@settings(max_examples=30, deadline=None)
+@given(dags(max_n=25))
+def test_property_execution_lists_partition_vertices(dag):
+    rng = np.random.default_rng(dag.n)
+    cores = rng.integers(0, 3, size=dag.n)
+    steps = rng.integers(0, 4, size=dag.n)
+    s = Schedule(cores, steps, 3)
+    seen = np.concatenate(
+        [cell for row in s.execution_lists() for cell in row]
+    ) if dag.n else np.empty(0, dtype=int)
+    assert np.array_equal(np.sort(seen), np.arange(dag.n))

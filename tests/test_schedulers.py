@@ -1,0 +1,201 @@
+"""Cross-cutting scheduler tests: every scheduler must produce complete,
+valid schedules on arbitrary DAGs (the central correctness property)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.dag import DAG
+from repro.graph.wavefront import critical_path_length
+from repro.scheduler import (
+    BSPListScheduler,
+    GrowLocalScheduler,
+    HDaggScheduler,
+    SerialScheduler,
+    SpMPScheduler,
+    WavefrontScheduler,
+    make_scheduler,
+)
+from tests.conftest import all_schedulers, dag_and_cores
+
+
+@settings(max_examples=40, deadline=None)
+@given(dag_and_cores(max_n=35, max_cores=6))
+def test_property_all_schedulers_produce_valid_schedules(dc):
+    dag, cores = dc
+    for sched in all_schedulers():
+        s = sched.schedule(dag, cores)
+        s.validate(dag)  # raises on any Definition 2.1 violation
+        assert s.n == dag.n
+        assert s.n_cores == cores
+
+
+@settings(max_examples=20, deadline=None)
+@given(dag_and_cores(max_n=30, max_cores=4))
+def test_property_schedulers_deterministic(dc):
+    dag, cores = dc
+    for sched_cls in (GrowLocalScheduler, HDaggScheduler,
+                      WavefrontScheduler, BSPListScheduler):
+        a = sched_cls().schedule(dag, cores)
+        b = sched_cls().schedule(dag, cores)
+        np.testing.assert_array_equal(a.cores, b.cores)
+        np.testing.assert_array_equal(a.supersteps, b.supersteps)
+
+
+class TestSerial:
+    def test_single_superstep(self, paper_figure_dag):
+        s = SerialScheduler().schedule(paper_figure_dag, 4)
+        assert s.n_supersteps == 1
+        assert np.all(s.cores == 0)
+
+
+class TestWavefront:
+    def test_supersteps_equal_levels(self, paper_figure_dag):
+        s = WavefrontScheduler().schedule(paper_figure_dag, 2)
+        assert s.n_supersteps == critical_path_length(paper_figure_dag)
+
+    def test_balance_within_level(self):
+        dag = DAG.from_edges(8, [])  # one wide level
+        s = WavefrontScheduler().schedule(dag, 4)
+        w = s.work_matrix(dag)
+        assert w.shape == (1, 4)
+        np.testing.assert_array_equal(w[0], [2, 2, 2, 2])
+
+
+class TestGrowLocal:
+    def test_fewer_supersteps_than_wavefronts(self, small_band_lower):
+        dag = DAG.from_lower_triangular(small_band_lower)
+        gl = GrowLocalScheduler().schedule(dag, 4)
+        assert gl.n_supersteps < critical_path_length(dag)
+
+    def test_one_core_single_superstep(self, paper_figure_dag):
+        s = GrowLocalScheduler().schedule(paper_figure_dag, 1)
+        assert s.n_supersteps == 1
+
+    def test_param_validation(self):
+        with pytest.raises(Exception):
+            GrowLocalScheduler(sync_penalty=-1)
+        with pytest.raises(Exception):
+            GrowLocalScheduler(alpha0=0)
+        with pytest.raises(Exception):
+            GrowLocalScheduler(growth=1.0)
+        with pytest.raises(Exception):
+            GrowLocalScheduler(acceptance=0.0)
+        with pytest.raises(Exception):
+            GrowLocalScheduler(min_improvement=-0.1)
+
+    def test_literal_paper_mode_still_valid(self, small_er_lower):
+        dag = DAG.from_lower_triangular(small_er_lower)
+        s = GrowLocalScheduler(min_improvement=0.0,
+                               adaptive_alpha0=False).schedule(dag, 4)
+        s.validate(dag)
+
+    def test_exclusivity_groups_chains(self):
+        """A chain hanging off a source should stay on one core within a
+        superstep (Rule I's core-exclusivity)."""
+        dag = DAG.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        s = GrowLocalScheduler().schedule(dag, 2)
+        # a chain is sequential; any valid schedule keeps it in
+        # topological order, and GrowLocal should not split it across
+        # cores within one superstep (which would be invalid anyway)
+        s.validate(dag)
+        assert s.n_supersteps <= 2
+
+    def test_empty_dag(self):
+        s = GrowLocalScheduler().schedule(DAG.from_edges(0, []), 4)
+        assert s.n == 0
+
+
+class TestHDagg:
+    def test_balance_threshold_validation(self):
+        with pytest.raises(Exception):
+            HDaggScheduler(imbalance_threshold=0.5)
+
+    def test_no_coarsening_mode(self, small_er_lower):
+        dag = DAG.from_lower_triangular(small_er_lower)
+        s = HDaggScheduler(use_coarsening=False).schedule(dag, 4)
+        s.validate(dag)
+
+    def test_glues_disconnected_chains(self):
+        """Independent chains are separate components, so HDagg can glue
+        their wavefronts whole-component-per-core (its aggregation unit;
+        on *connected* meshes it cannot glue at all — the paper's 1.24x)."""
+        edges = []
+        for c in range(4):  # four chains of length 8
+            base = 8 * c
+            edges += [(base + i, base + i + 1) for i in range(7)]
+        dag = DAG.from_edges(32, edges)
+        s = HDaggScheduler(use_coarsening=False,
+                           imbalance_threshold=1.5).schedule(dag, 2)
+        assert s.n_supersteps < critical_path_length(dag)
+
+    def test_cannot_glue_connected_mesh(self):
+        from repro.matrix.generators import rcm_mesh
+
+        lower = rcm_mesh(8, 32, reach=1, seed=0).lower_triangle()
+        dag = DAG.from_lower_triangular(lower)
+        s = HDaggScheduler(use_coarsening=False,
+                           imbalance_threshold=2.0).schedule(dag, 2)
+        assert s.n_supersteps == critical_path_length(dag)
+
+    def test_strict_threshold_stops_gluing(self, small_er_lower):
+        dag = DAG.from_lower_triangular(small_er_lower)
+        strict = HDaggScheduler(use_coarsening=False,
+                                imbalance_threshold=1.0).schedule(dag, 4)
+        loose = HDaggScheduler(use_coarsening=False,
+                               imbalance_threshold=10.0).schedule(dag, 4)
+        assert strict.n_supersteps >= loose.n_supersteps
+
+
+class TestSpMP:
+    def test_async_mode_and_sync_dag(self, small_er_lower):
+        dag = DAG.from_lower_triangular(small_er_lower)
+        sched = SpMPScheduler()
+        s = sched.schedule(dag, 4)
+        assert sched.execution_mode == "async"
+        assert sched.sync_dag is not None
+        assert sched.sync_dag.m <= dag.m
+        s.validate(dag)
+
+    def test_no_reduction_mode(self, small_er_lower):
+        dag = DAG.from_lower_triangular(small_er_lower)
+        sched = SpMPScheduler(transitive_reduction=False)
+        sched.schedule(dag, 4)
+        assert sched.sync_dag.m == dag.m
+
+
+class TestBSPList:
+    def test_superstep_cap(self):
+        dag = DAG.from_edges(30, [(i, i + 1) for i in range(29)])
+        s = BSPListScheduler(superstep_work=5.0).schedule(dag, 2)
+        w = s.work_matrix(dag)
+        # the cap bounds the *least-loaded* core; a chain stays on one
+        # core per superstep but cannot exceed cap + one vertex by much
+        assert w.max() <= 6
+
+    def test_param_validation(self):
+        with pytest.raises(Exception):
+            BSPListScheduler(superstep_work=0.0)
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        from repro.scheduler import available_schedulers
+
+        for name in available_schedulers():
+            sched = make_scheduler(name)
+            assert sched is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(Exception):
+            make_scheduler("nope")
+
+    def test_kwargs_forwarded(self):
+        s = make_scheduler("growlocal", sync_penalty=123.0)
+        assert s.sync_penalty == 123.0
+
+    def test_custom_registration(self):
+        from repro.scheduler import register_scheduler
+
+        register_scheduler("serial2", SerialScheduler)
+        assert isinstance(make_scheduler("serial2"), SerialScheduler)

@@ -1,0 +1,94 @@
+"""Cross-simulator property tests: relationships that must hold between
+the serial, BSP and asynchronous execution models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dag import DAG
+from repro.machine.async_sim import simulate_async
+from repro.machine.bsp_sim import simulate_bsp
+from repro.machine.cache import row_costs_for_sequence
+from repro.machine.model import MachineModel
+from repro.machine.serial_sim import simulate_serial
+from repro.matrix.generators import random_values_lower
+from repro.scheduler import GrowLocalScheduler, SpMPScheduler
+
+NO_CACHE = MachineModel(
+    name="nc", n_cores=4, cycles_per_nnz=1.0, row_overhead=1.0,
+    barrier_latency=10.0, barrier_per_core=0.0, p2p_latency=5.0,
+    p2p_check=1.0, miss_penalty=0.0,
+)
+
+
+def _random_lower(n, seed, density=0.2):
+    rng = np.random.default_rng(seed)
+    tri_i, tri_j = np.tril_indices(n, k=-1)
+    keep = rng.random(tri_i.size) < density
+    return random_values_lower(n, tri_i[keep], tri_j[keep], seed=seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 40), st.integers(0, 2**31 - 1))
+def test_property_bsp_lower_bounds(n, seed):
+    """BSP time >= max(work/cores, critical-path work) with no cache."""
+    lower = _random_lower(n, seed)
+    dag = DAG.from_lower_triangular(lower)
+    s = GrowLocalScheduler().schedule(dag, 4)
+    sim = simulate_bsp(lower, s, NO_CACHE)
+    costs = row_costs_for_sequence(lower, np.arange(n), NO_CACHE)
+    assert sim.total_cycles >= costs.sum() / 4 - 1e-9
+    # critical path: the heaviest single superstep contribution chain
+    assert sim.compute_cycles >= costs.max() - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 40), st.integers(0, 2**31 - 1))
+def test_property_async_no_slower_than_bsp_plus_waits(n, seed):
+    """For the same schedule, asynchronous execution replaces barriers
+    with waits; with zero p2p cost it can never be slower than the BSP
+    execution of that schedule (it only removes synchronization)."""
+    free_p2p = MachineModel(
+        name="fp", n_cores=4, cycles_per_nnz=1.0, row_overhead=1.0,
+        barrier_latency=10.0, barrier_per_core=0.0, p2p_latency=0.0,
+        p2p_check=0.0, miss_penalty=0.0,
+    )
+    lower = _random_lower(n, seed)
+    dag = DAG.from_lower_triangular(lower)
+    sched = SpMPScheduler()
+    s = sched.schedule(dag, 4)
+    bsp = simulate_bsp(lower, s, free_p2p).total_cycles
+    asy = simulate_async(lower, s, sched.sync_dag, free_p2p).total_cycles
+    assert asy <= bsp + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 40), st.integers(0, 2**31 - 1))
+def test_property_serial_equals_single_core_bsp(n, seed):
+    from repro.scheduler import SerialScheduler
+
+    lower = _random_lower(n, seed)
+    dag = DAG.from_lower_triangular(lower)
+    s = SerialScheduler().schedule(dag, 1)
+    bsp = simulate_bsp(lower, s, NO_CACHE).total_cycles
+    serial = simulate_serial(lower, NO_CACHE)
+    assert abs(bsp - serial) < 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 30), st.integers(0, 2**31 - 1))
+def test_property_transitive_reduction_never_hurts_async(n, seed):
+    """Fewer sync edges can only reduce asynchronous waits."""
+    lower = _random_lower(n, seed, density=0.4)
+    dag = DAG.from_lower_triangular(lower)
+    with_red = SpMPScheduler(transitive_reduction=True)
+    without = SpMPScheduler(transitive_reduction=False)
+    s1 = with_red.schedule(dag, 4)
+    s2 = without.schedule(dag, 4)
+    t_red = simulate_async(lower, s1, with_red.sync_dag, NO_CACHE)
+    t_full = simulate_async(lower, s2, without.sync_dag, NO_CACHE)
+    # identical schedules (levels are reduction-invariant), so the only
+    # difference is the wait structure
+    np.testing.assert_array_equal(s1.cores, s2.cores)
+    assert t_red.cross_core_deps <= t_full.cross_core_deps
+    assert t_red.total_cycles <= t_full.total_cycles + 1e-6

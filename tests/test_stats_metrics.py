@@ -1,0 +1,119 @@
+"""Tests for statistics helpers and evaluation metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import (
+    amortization_threshold,
+    barrier_reduction,
+    flops_per_cycle,
+)
+from repro.utils.stats import (
+    geometric_mean,
+    interquartile_range,
+    performance_profile,
+    quartiles,
+)
+from repro.utils.timing import Timer
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    def test_property_bounded_by_min_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestQuartiles:
+    def test_known(self):
+        q25, q50, q75 = quartiles([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert q50 == 3.0
+        assert q25 == 2.0
+        assert q75 == 4.0
+
+    def test_iqr(self):
+        lo, hi = interquartile_range([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert (lo, hi) == (2.0, 4.0)
+
+
+class TestPerformanceProfile:
+    def test_dominant_algorithm_at_one(self):
+        prof = performance_profile(
+            {"fast": [1.0, 2.0], "slow": [2.0, 4.0]},
+            thresholds=[1.0, 2.0, 3.0],
+        )
+        np.testing.assert_allclose(prof["fast"], [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(prof["slow"], [0.0, 1.0, 1.0])
+
+    def test_mixed_winners(self):
+        prof = performance_profile(
+            {"a": [1.0, 3.0], "b": [2.0, 1.0]},
+            thresholds=[1.0, 2.0, 3.0],
+        )
+        np.testing.assert_allclose(prof["a"], [0.5, 0.5, 1.0])
+        np.testing.assert_allclose(prof["b"], [0.5, 1.0, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            performance_profile({})
+        with pytest.raises(ConfigurationError):
+            performance_profile({"a": [1.0], "b": [1.0, 2.0]})
+        with pytest.raises(ConfigurationError):
+            performance_profile({"a": [1.0]}, thresholds=[0.5])
+        with pytest.raises(ConfigurationError):
+            performance_profile({"a": [0.0]})
+
+
+class TestMetrics:
+    def test_barrier_reduction(self):
+        assert barrier_reduction(100, 10) == 10.0
+        with pytest.raises(ConfigurationError):
+            barrier_reduction(0, 1)
+
+    def test_amortization(self):
+        # 2s scheduling, each solve saves 0.5s -> 4 reuses to amortize
+        assert amortization_threshold(2.0, 1.0, 0.5) == pytest.approx(4.0)
+
+    def test_amortization_infinite_when_slower(self):
+        assert amortization_threshold(1.0, 1.0, 2.0) == math.inf
+        assert amortization_threshold(1.0, 1.0, 1.0) == math.inf
+
+    def test_amortization_validation(self):
+        with pytest.raises(ConfigurationError):
+            amortization_threshold(-1.0, 1.0, 0.5)
+
+    def test_flops_per_cycle(self):
+        assert flops_per_cycle(100, 50.0) == 2.0
+        with pytest.raises(ConfigurationError):
+            flops_per_cycle(100, 0.0)
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_start_stop(self):
+        t = Timer()
+        t.start()
+        elapsed = t.stop()
+        assert elapsed >= 0.0
+        with pytest.raises(RuntimeError):
+            t.stop()

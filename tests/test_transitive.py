@@ -1,0 +1,97 @@
+"""Tests for the approximate transitive reduction (SpMP preprocessing)."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graph.dag import DAG
+from repro.graph.transitive import (
+    approximate_transitive_reduction,
+    transitive_edge_mask,
+)
+from repro.graph.wavefront import wavefront_levels
+from tests.conftest import dags
+
+
+def _reachability(dag: DAG) -> np.ndarray:
+    """Dense boolean reachability matrix (test oracle, small graphs)."""
+    reach = np.eye(dag.n, dtype=bool)
+    from repro.graph.toposort import topological_order
+
+    for u in topological_order(dag)[::-1]:
+        u = int(u)
+        for c in dag.children(u):
+            reach[u] |= reach[int(c)]
+    return reach
+
+
+def test_triangle_edge_removed():
+    dag = DAG.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    red = approximate_transitive_reduction(dag)
+    assert red.m == 2
+    assert not red.has_edge(0, 2)
+
+
+def test_long_chain_untouched():
+    dag = DAG.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    red = approximate_transitive_reduction(dag)
+    assert red.m == 3
+
+
+def test_three_step_shortcut_not_removed():
+    """u->v covered only by a THREE-edge path is not a triangle and the
+    approximate algorithm keeps it (unlike a full reduction)."""
+    dag = DAG.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    red = approximate_transitive_reduction(dag)
+    assert red.has_edge(0, 3)
+
+
+def test_mask_positions_align_with_edges():
+    dag = DAG.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    mask = transitive_edge_mask(dag)
+    src, dst = dag.edges()
+    removed = {(int(s), int(d)) for s, d, m in zip(src, dst, mask) if m}
+    assert removed == {(0, 2)}
+
+
+def test_max_work_early_exit():
+    dag = DAG.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    mask = transitive_edge_mask(dag, max_work=0)
+    assert not mask.any()
+
+
+def test_diamond_keeps_all_edges():
+    dag = DAG.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    assert approximate_transitive_reduction(dag).m == 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(dags(max_n=25))
+def test_property_reachability_preserved(dag):
+    red = approximate_transitive_reduction(dag)
+    assert red.m <= dag.m
+    np.testing.assert_array_equal(_reachability(red), _reachability(dag))
+
+
+@settings(max_examples=40, deadline=None)
+@given(dags(max_n=25))
+def test_property_levels_unchanged(dag):
+    """Removing long edges in triangles keeps longest-path levels, the
+    property SpMP's level sets rely on."""
+    red = approximate_transitive_reduction(dag)
+    np.testing.assert_array_equal(
+        wavefront_levels(red), wavefront_levels(dag)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(dags(max_n=25))
+def test_property_idempotent_on_result_edges(dag):
+    """Edges removed are exactly those covered by a 2-path (oracle)."""
+    src, dst = dag.edges()
+    mask = transitive_edge_mask(dag)
+    parent_sets = [set(map(int, dag.parents(v))) for v in range(dag.n)]
+    for s, d, m in zip(src, dst, mask):
+        covered = any(
+            int(s) in parent_sets[w] for w in parent_sets[int(d)]
+        )
+        assert bool(m) == covered
