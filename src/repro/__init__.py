@@ -28,6 +28,9 @@ Subpackages
 ``repro.graph``      dependence DAGs, wavefronts, transitive reduction,
                      acyclicity-preserving coarsening
 ``repro.scheduler``  GrowLocal and all baseline schedulers
+``repro.exec``       execution plans: schedules lowered once to flat
+                     arrays, pluggable backend kernels (numpy/numba),
+                     the shared simulator cost kernel, plan caching
 ``repro.machine``    the simulated multicore (BSP + asynchronous models)
 ``repro.solver``     SpTRSV kernels, scheduled/threaded execution, PCG,
                      Gauß–Seidel
@@ -42,6 +45,13 @@ from repro.errors import (
     NotTriangularError,
     ReproError,
     SingularMatrixError,
+)
+from repro.exec import (
+    ExecutionPlan,
+    PlanCache,
+    compile_plan,
+    get_backend,
+    list_backends,
 )
 from repro.graph.dag import DAG
 from repro.machine.model import MachineModel, get_machine, list_machines
@@ -74,6 +84,7 @@ __all__ = [
     "CSRMatrix",
     "ConfigurationError",
     "DAG",
+    "ExecutionPlan",
     "FunnelGrowLocalScheduler",
     "GrowLocalScheduler",
     "HDaggScheduler",
@@ -82,6 +93,7 @@ __all__ = [
     "MachineModel",
     "MatrixFormatError",
     "NotTriangularError",
+    "PlanCache",
     "ReproError",
     "Schedule",
     "Scheduler",
@@ -91,8 +103,11 @@ __all__ = [
     "WavefrontScheduler",
     "__version__",
     "backward_substitution",
+    "compile_plan",
     "forward_substitution",
+    "get_backend",
     "get_machine",
+    "list_backends",
     "list_machines",
     "make_scheduler",
     "scheduled_sptrsv",

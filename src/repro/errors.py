@@ -39,3 +39,8 @@ class InvalidPartitionError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid user-supplied configuration (core counts, parameters, ...)."""
+
+
+class BackendUnavailableError(ConfigurationError):
+    """An execution backend was requested but cannot run in this
+    environment (e.g. the ``numba`` backend without numba installed)."""

@@ -1,0 +1,46 @@
+"""Execution plans: compile schedules once, execute them fast, anywhere.
+
+This package is the boundary between *what* a schedule says and *how* it
+is executed — the load-bearing seam every scaling direction (process
+pools, sharding, native kernels) plugs into:
+
+* :mod:`~repro.exec.plan` — :func:`compile_plan` lowers a
+  ``(CSRMatrix, Schedule)`` pair into an :class:`ExecutionPlan`: flat
+  contiguous arrays of dependency-layer batches, off-diagonal gather
+  indices, precompiled diagonals (validated once, at compile time) and
+  per-core program order;
+* :mod:`~repro.exec.backends` — the pluggable kernel registry
+  (``numpy`` vectorized batches by default, ``numba`` auto-detected with
+  graceful fallback) consuming plans instead of walking CSR rows in
+  Python;
+* :mod:`~repro.exec.cost` — the single plan-based cost kernel shared by
+  the BSP, asynchronous and serial machine simulators;
+* :mod:`~repro.exec.plan_cache` — a keyed :class:`PlanCache` with
+  hit/miss counters so the experiment runner compiles each
+  (instance, scheduler, cores) triple exactly once.
+"""
+
+from repro.exec.backends import (
+    ExecutionBackend,
+    NumbaBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.exec.plan import ExecutionPlan, compile_plan
+from repro.exec.plan_cache import PlanCache
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionPlan",
+    "NumbaBackend",
+    "NumpyBackend",
+    "PlanCache",
+    "available_backends",
+    "compile_plan",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]

@@ -1,0 +1,87 @@
+"""The shared plan-based cost kernel of the machine simulators.
+
+Before the :mod:`repro.exec` subsystem, each simulator (BSP, asynchronous,
+serial, trace) carried its own copy of the per-row cost logic: walk the
+schedule's core sequences, re-derive the access streams from CSR, price
+them with the cache model.  This module is the single implementation all
+of them now share — it consumes an
+:class:`~repro.exec.plan.ExecutionPlan`'s per-core program order
+(``core_rows``/``core_ptr``) and prices each core's sequence exactly as the
+seed simulators did (same :func:`~repro.machine.cache.row_costs_for_sequence`
+cache model, so simulated cycle counts are bit-identical).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exec.plan import ExecutionPlan
+from repro.machine.cache import row_costs_for_sequence
+from repro.machine.model import MachineModel
+
+__all__ = [
+    "per_core_costs",
+    "bsp_cost_matrix",
+    "row_cost_and_position",
+]
+
+
+def per_core_costs(
+    plan: ExecutionPlan, machine: MachineModel
+) -> list[np.ndarray]:
+    """Per-row simulated cycles for each core's program-order sequence.
+
+    Element ``p`` is aligned with ``plan.core_sequence(p)``; empty cores
+    yield empty arrays.  Per-core cache state persists across supersteps,
+    exactly as in the seed simulators.
+    """
+    return [
+        row_costs_for_sequence(plan.matrix, plan.core_sequence(p), machine)
+        for p in range(plan.n_cores)
+    ]
+
+
+def bsp_cost_matrix(
+    plan: ExecutionPlan, machine: MachineModel
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Superstep-by-core busy cycles of a synchronous execution.
+
+    Returns ``(step_core, core_busy, active_cores)`` where ``step_core``
+    is ``(max(n_supersteps, 1), n_cores)`` summed busy cycles,
+    ``core_busy`` the per-core totals, and ``active_cores`` the number of
+    cores that ever receive work (the barrier fan-in).
+    """
+    n_steps = plan.n_supersteps
+    n_cores = plan.n_cores
+    step_core = np.zeros((max(n_steps, 1), n_cores))
+    core_busy = np.zeros(n_cores)
+    active = 0
+    for p, costs in enumerate(per_core_costs(plan, machine)):
+        seq = plan.core_sequence(p)
+        if seq.size == 0:
+            continue
+        active += 1
+        np.add.at(step_core[:, p], plan.row_step[seq], costs)
+        core_busy[p] = costs.sum()
+    return step_core, core_busy, active
+
+
+def row_cost_and_position(
+    plan: ExecutionPlan, machine: MachineModel
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row-id cost and program-order position (asynchronous model).
+
+    Returns ``(cost, seq_pos)`` indexed by row id: ``cost[v]`` is the
+    simulated cycles of row ``v`` on its own core's sequence, ``seq_pos[v]``
+    its position within that sequence.
+    """
+    n = plan.n
+    cost = np.zeros(n)
+    seq_pos = np.zeros(n, dtype=np.int64)
+    for p, costs in enumerate(per_core_costs(plan, machine)):
+        seq = plan.core_sequence(p)
+        if seq.size == 0:
+            continue
+        cost[seq] = costs
+        seq_pos[seq] = np.arange(seq.size, dtype=np.int64)
+    return cost, seq_pos

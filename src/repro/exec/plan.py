@@ -1,0 +1,375 @@
+"""Execution-plan compiler: lower a ``(CSRMatrix, Schedule)`` pair once.
+
+The paper's thesis is that SpTRSV throughput is decided in the executed
+kernel, not in the schedule data structure.  This module separates the two:
+:func:`compile_plan` lowers a triangular matrix plus (optionally) a barrier
+schedule into an :class:`ExecutionPlan` — flat, contiguous NumPy arrays that
+the backend kernels of :mod:`repro.exec.backends` and the machine-model
+cost kernel of :mod:`repro.exec.cost` consume without ever walking CSR rows
+in interpreted Python.
+
+Lowered representation
+----------------------
+*Batches.*  Rows are grouped into *batches*: within one superstep, rows are
+layered by their intra-superstep dependencies (``level(v) = 0`` if every
+dependency of ``v`` sits in an earlier superstep, else ``1 + max`` over
+same-superstep dependencies).  All rows of a batch are mutually independent,
+so one batch is solved by a single vectorized gather / segment-sum / scatter
+— this is what turns the interpreter-bound per-row loop of the seed kernels
+into a handful of NumPy calls per dependency layer.  For valid schedules
+(Definition 2.1) intra-superstep dependencies never cross cores, so batching
+across the cores of a superstep is exactly the barrier semantics.
+
+*Gather arrays.*  For every row position the off-diagonal column indices and
+values are re-laid-out contiguously in batch order (``off_ptr`` /
+``off_cols`` / ``off_vals``), the diagonal is pre-extracted (``diag``), and
+missing/zero diagonals are detected once at compile time instead of on
+every solve.
+
+*Core sequences.*  The per-core execution sequences (program order of the
+simulated machine) are concatenated into ``core_rows`` / ``core_ptr`` so the
+BSP, asynchronous and serial simulators can share one plan-based cost
+kernel.
+
+Compiling is a one-time cost per ``(matrix, schedule)`` pair; every
+consumer — repeated triangular solves inside CG/Gauss-Seidel, the machine
+simulators, the experiment runner — reuses the plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError, SingularMatrixError
+from repro.matrix.csr import CSRMatrix
+from repro.scheduler.schedule import Schedule
+from repro.utils.arrays import segmented_gather
+
+__all__ = ["ExecutionPlan", "compile_plan"]
+
+
+class ExecutionPlan:
+    """A compiled, backend-ready lowering of one triangular-solve workload.
+
+    Attributes
+    ----------
+    matrix:
+        The source :class:`~repro.matrix.csr.CSRMatrix` (kept for cost
+        models and debugging; kernels only touch the flat arrays below).
+    schedule:
+        The source :class:`~repro.scheduler.schedule.Schedule`, or ``None``
+        for a serial plan.
+    direction:
+        ``"forward"`` (lower triangular) or ``"backward"`` (upper).
+    rows:
+        ``int64[n]`` — row ids in execution order, grouped by batch.
+    batch_ptr:
+        ``int64[n_batches + 1]`` — batch ``t`` spans
+        ``rows[batch_ptr[t]:batch_ptr[t+1]]``.
+    batch_step:
+        ``int64[n_batches]`` — superstep of each batch (batches never span
+        supersteps).
+    off_ptr / off_cols / off_vals:
+        Concatenated off-diagonal gather structure aligned with positions
+        in ``rows``: position ``k`` reads
+        ``off_cols[off_ptr[k]:off_ptr[k+1]]``.
+    off_local:
+        ``int64[nnz_off]`` — for each off-diagonal entry, the position of
+        its row *within its batch* (the segment id of the vectorized
+        segment-sum).
+    diag:
+        ``float64[n]`` — diagonal value per position in ``rows``.
+    pos:
+        ``int64[n]`` — ``pos[row_id]`` is the row's position in ``rows``.
+    core_rows / core_ptr:
+        Per-core program order: core ``p`` executes
+        ``core_rows[core_ptr[p]:core_ptr[p+1]]``.
+    row_step:
+        ``int64[n]`` — superstep per *row id* (all zeros for serial plans).
+    singular_row:
+        Row id of the first missing/zero diagonal, ``-1`` when the matrix
+        is solvable.  :meth:`require_solvable` turns it into a
+        :class:`~repro.errors.SingularMatrixError`.
+    """
+
+    __slots__ = (
+        "matrix",
+        "schedule",
+        "direction",
+        "rows",
+        "batch_ptr",
+        "batch_step",
+        "off_ptr",
+        "off_cols",
+        "off_vals",
+        "off_local",
+        "diag",
+        "pos",
+        "core_rows",
+        "core_ptr",
+        "row_step",
+        "singular_row",
+        "_singular_reason",
+    )
+
+    def __init__(self, **fields: object) -> None:
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of rows covered by the plan."""
+        return int(self.rows.size)
+
+    @property
+    def n_batches(self) -> int:
+        """Number of vectorized batches (dependency layers)."""
+        return int(self.batch_ptr.size) - 1
+
+    @property
+    def n_cores(self) -> int:
+        """Core count of the lowered schedule (1 for serial plans)."""
+        return int(self.core_ptr.size) - 1
+
+    @property
+    def n_supersteps(self) -> int:
+        """Superstep count of the lowered schedule (<= 1 for serial)."""
+        if self.batch_step.size == 0:
+            return 0
+        return int(self.batch_step.max()) + 1
+
+    @property
+    def nnz_off(self) -> int:
+        """Off-diagonal entries in the gather structure."""
+        return int(self.off_cols.size)
+
+    def core_sequence(self, p: int) -> np.ndarray:
+        """Program-order row ids of core ``p``."""
+        return self.core_rows[self.core_ptr[p]:self.core_ptr[p + 1]]
+
+    def require_solvable(self) -> None:
+        """Raise :class:`SingularMatrixError` if a diagonal entry is
+        missing or zero (detected once, at compile time)."""
+        if self.singular_row >= 0:
+            raise SingularMatrixError(self._singular_reason)
+
+    def require_compatible(self, n: int, direction: str) -> None:
+        """Raise :class:`MatrixFormatError` unless this plan was compiled
+        for a size-``n`` system in the given sweep ``direction`` — the
+        guard every solver entry point applies to caller-supplied plans
+        (a mismatched plan would otherwise silently solve the wrong
+        system)."""
+        if self.direction != direction:
+            raise MatrixFormatError(
+                f"plan direction mismatch (need {direction}, "
+                f"plan is {self.direction})"
+            )
+        if self.n != n:
+            raise MatrixFormatError(
+                f"plan covers {self.n} rows, matrix has {n}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionPlan(n={self.n}, direction={self.direction!r}, "
+            f"batches={self.n_batches}, cores={self.n_cores}, "
+            f"supersteps={self.n_supersteps})"
+        )
+
+
+def _levelize(
+    n: int,
+    dep: np.ndarray,
+    consumer: np.ndarray,
+    step: np.ndarray,
+) -> np.ndarray:
+    """Longest-path layer of every row w.r.t. *intra-superstep* deps.
+
+    ``dep[k] -> consumer[k]`` are the dependency edges (off-diagonal
+    entries); only edges whose endpoints share a superstep constrain the
+    layering — cross-superstep edges are resolved by the barrier.  One
+    vectorized Kahn peel per layer; the loop count equals the maximum
+    intra-superstep chain length, not the row count.
+    """
+    level = np.zeros(n, dtype=np.int64)
+    if dep.size == 0 or n == 0:
+        return level
+    intra = step[dep] == step[consumer]
+    src = dep[intra]
+    dst = consumer[intra]
+    if src.size == 0:
+        return level
+    indeg = np.bincount(dst, minlength=n)
+    # CSR-ish adjacency of the intra-step edges, grouped by source
+    order = np.argsort(src, kind="stable")
+    child = dst[order]
+    child_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=child_ptr[1:])
+
+    frontier = np.flatnonzero(indeg == 0)
+    lvl = 0
+    while frontier.size:
+        level[frontier] = lvl
+        starts = child_ptr[frontier]
+        flat = segmented_gather(starts, child_ptr[frontier + 1] - starts)
+        if flat.size == 0:
+            break
+        kids = child[flat]
+        indeg -= np.bincount(kids, minlength=n)
+        cand = np.unique(kids)
+        frontier = cand[indeg[cand] == 0]
+        lvl += 1
+    return level
+
+
+def compile_plan(
+    matrix: CSRMatrix,
+    schedule: Schedule | None = None,
+    *,
+    direction: str = "forward",
+    check_diagonal: bool = True,
+) -> ExecutionPlan:
+    """Lower ``(matrix, schedule)`` into an :class:`ExecutionPlan`.
+
+    Parameters
+    ----------
+    matrix:
+        Lower-triangular for ``direction="forward"``, upper-triangular for
+        ``"backward"``.
+    schedule:
+        Optional barrier schedule; ``None`` compiles a serial plan (one
+        core, one superstep, rows layered by the full dependency DAG —
+        i.e. classic level-set execution).
+    direction:
+        Sweep direction; decides triangularity validation and the
+        tie-break order inside a batch (ascending ids forward, descending
+        backward, matching the seed executors).
+    check_diagonal:
+        When true (the solver default) a missing or zero diagonal raises
+        :class:`~repro.errors.SingularMatrixError` here, at compile time.
+        The machine simulators pass ``False`` — cost models only need the
+        structure.
+    """
+    if direction not in ("forward", "backward"):
+        raise MatrixFormatError(f"unknown direction {direction!r}")
+    if direction == "forward":
+        matrix.require_lower_triangular()
+    elif not matrix.is_upper_triangular():
+        raise MatrixFormatError("matrix is not upper triangular")
+    n = matrix.n
+    if schedule is not None and schedule.n != n:
+        raise MatrixFormatError("schedule size does not match the matrix")
+
+    row_nnz = matrix.row_nnz()
+    rows_flat = np.repeat(np.arange(n, dtype=np.int64), row_nnz)
+
+    # --- diagonal extraction + one-time singularity validation ---------
+    dpos = matrix.diag_positions()
+    diag_by_row = np.zeros(n)
+    stored = dpos >= 0
+    diag_by_row[stored] = matrix.data[dpos[stored]]
+    singular_row = -1
+    reason = ""
+    missing = np.flatnonzero(~stored)
+    if missing.size:
+        singular_row = int(missing[0])
+        reason = f"row {singular_row} has no stored diagonal entry"
+    else:
+        zero = np.flatnonzero(diag_by_row == 0.0)
+        if zero.size:
+            singular_row = int(zero[0])
+            reason = f"zero diagonal at row {singular_row}"
+    if check_diagonal and singular_row >= 0:
+        raise SingularMatrixError(reason)
+
+    # --- off-diagonal structure in row-id order ------------------------
+    off_mask = matrix.indices != rows_flat
+    off_cols_all = matrix.indices[off_mask]
+    off_vals_all = matrix.data[off_mask]
+    off_rows_all = rows_flat[off_mask]
+    off_counts_row = np.bincount(off_rows_all, minlength=n).astype(np.int64)
+    off_indptr_all = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(off_counts_row, out=off_indptr_all[1:])
+
+    # --- batch layout: (superstep, intra-step level, id) ---------------
+    step = (
+        schedule.supersteps
+        if schedule is not None
+        else np.zeros(n, dtype=np.int64)
+    )
+    level = _levelize(n, off_cols_all, off_rows_all, step)
+    tie = (
+        np.arange(n, dtype=np.int64)
+        if direction == "forward"
+        else np.arange(n, 0, -1, dtype=np.int64)
+    )
+    rows = np.lexsort((tie, level, step)).astype(np.int64)
+    srt_step = step[rows]
+    srt_level = level[rows]
+    if n:
+        change = np.flatnonzero(
+            (srt_step[1:] != srt_step[:-1]) | (srt_level[1:] != srt_level[:-1])
+        ) + 1
+        batch_ptr = np.concatenate(
+            ([0], change, [n])
+        ).astype(np.int64)
+    else:
+        batch_ptr = np.zeros(1, dtype=np.int64)
+    batch_step = srt_step[batch_ptr[:-1]] if n else np.zeros(0, np.int64)
+
+    # --- gather arrays re-laid-out in batch order ----------------------
+    counts_pos = off_counts_row[rows]
+    off_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts_pos, out=off_ptr[1:])
+    flat = segmented_gather(off_indptr_all[rows], counts_pos)
+    off_cols = off_cols_all[flat]
+    off_vals = off_vals_all[flat]
+    batch_of_pos = np.repeat(
+        np.arange(batch_ptr.size - 1, dtype=np.int64), np.diff(batch_ptr)
+    )
+    pos_in_batch = np.arange(n, dtype=np.int64) - batch_ptr[batch_of_pos]
+    off_local = np.repeat(pos_in_batch, counts_pos)
+
+    pos = np.empty(n, dtype=np.int64)
+    pos[rows] = np.arange(n, dtype=np.int64)
+
+    # --- per-core program order (cost-model layout) --------------------
+    if schedule is not None:
+        sequences = schedule.core_sequences()
+        core_ptr = np.zeros(len(sequences) + 1, dtype=np.int64)
+        np.cumsum([seq.size for seq in sequences], out=core_ptr[1:])
+        core_rows = (
+            np.concatenate(sequences)
+            if sequences
+            else np.zeros(0, dtype=np.int64)
+        )
+    else:
+        core_ptr = np.array([0, n], dtype=np.int64)
+        core_rows = (
+            np.arange(n, dtype=np.int64)
+            if direction == "forward"
+            else np.arange(n - 1, -1, -1, dtype=np.int64)
+        )
+
+    return ExecutionPlan(
+        matrix=matrix,
+        schedule=schedule,
+        direction=direction,
+        rows=rows,
+        batch_ptr=batch_ptr,
+        batch_step=batch_step,
+        off_ptr=off_ptr,
+        off_cols=off_cols,
+        off_vals=off_vals,
+        off_local=off_local,
+        diag=diag_by_row[rows],
+        pos=pos,
+        core_rows=core_rows,
+        core_ptr=core_ptr,
+        row_step=step,
+        singular_row=singular_row,
+        _singular_reason=reason,
+    )

@@ -3,14 +3,22 @@
 One :func:`run_instance` call reproduces the full measurement pipeline of
 Section 6.1 for one (matrix, scheduler, machine) triple:
 
-1. compute the schedule (wall-clock timed — the scheduling-time numerator
-   of the amortization threshold, Eq. 7.1);
-2. optionally apply the locality reordering of Section 5 (GrowLocal's
-   default configuration; the baselines do not reorder, matching the
-   paper);
+1. compute the schedule *and* — for the paper's own algorithms — the
+   Section 5 locality reordering (both are scheduling-side work, so both
+   are wall-clock timed into the ``scheduling_seconds`` numerator of the
+   amortization threshold, Eq. 7.1);
+2. lower the scheduled problem once into an
+   :class:`~repro.exec.plan.ExecutionPlan`;
 3. simulate the parallel execution (BSP simulator, or the event-driven
-   asynchronous simulator for SpMP) and the serial execution;
+   asynchronous simulator for SpMP) and the serial execution off the plan;
 4. derive speed-up, barrier reduction, flop rate and amortization.
+
+Compiled artifacts are memoized in a :class:`~repro.exec.PlanCache` keyed
+by ``(instance, scheduler, cores, reorder)``: :func:`run_suite` shares one
+cache across the whole suite so each triple is scheduled, reordered and
+lowered exactly once, however many reorder/simulate/solve stages consume
+it.  Cache hit/miss counters are surfaced on every
+:class:`ExperimentResult`.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.exec import ExecutionPlan, PlanCache, compile_plan
 from repro.experiments.datasets import DatasetInstance
 from repro.experiments.metrics import (
     amortization_threshold,
@@ -60,10 +69,91 @@ class ExperimentResult:
     amortization: float
     flops_per_cycle: float
     reordered: bool
+    #: Cumulative plan-cache counters at the time this result was
+    #: produced (suite-wide when :func:`run_suite` shares a cache).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def as_row(self) -> dict[str, object]:
         """Plain-dict view for table emitters."""
         return dict(self.__dict__)
+
+
+@dataclass
+class _CompiledTriple:
+    """One (instance, scheduler, cores) triple, lowered once.
+
+    Everything downstream stages need: the schedule, the (possibly
+    reordered) executed matrix/schedule, the execution plan, the captured
+    sync DAG for asynchronous schedulers, and the scheduling wall-clock
+    time (schedule + reordering permutation, per Eq. 7.1)."""
+
+    schedule: object
+    exec_matrix: object
+    exec_schedule: object
+    plan: ExecutionPlan
+    sync_dag: object | None
+    mode: str
+    scheduling_seconds: float
+    reordered: bool
+
+
+def _compile_triple(
+    inst: DatasetInstance,
+    scheduler: Scheduler,
+    cores: int,
+    reorder: bool,
+) -> _CompiledTriple:
+    """Schedule, reorder and lower one triple (the cache-miss path)."""
+    # The Section 5 reordering permutation is scheduling-side work: its
+    # cost belongs in the amortization numerator alongside the scheduler
+    # proper, so the timer covers both.
+    with Timer() as timer:
+        schedule = scheduler.schedule(inst.dag, cores)
+        exec_matrix = inst.lower
+        exec_schedule = schedule
+        reordered = bool(reorder and scheduler.execution_mode == "bsp")
+        if reordered:
+            perm = schedule_reordering(schedule)
+            exec_matrix = permute_symmetric(inst.lower, perm)
+            exec_schedule = schedule.reorder_vertices(perm)
+    # capture per-call scheduler state before the next schedule() call
+    sync_dag = getattr(scheduler, "sync_dag", None)
+    plan = compile_plan(exec_matrix, exec_schedule, check_diagonal=False)
+    return _CompiledTriple(
+        schedule=schedule,
+        exec_matrix=exec_matrix,
+        exec_schedule=exec_schedule,
+        plan=plan,
+        sync_dag=sync_dag,
+        mode=scheduler.execution_mode,
+        scheduling_seconds=timer.elapsed,
+        reordered=reordered,
+    )
+
+
+def _serial_plan(inst: DatasetInstance, cache: PlanCache) -> ExecutionPlan:
+    """The instance's serial plan (the speed-up denominator), cached once
+    per instance and shared by every scheduler in a suite."""
+    return cache.get_or_build(
+        (inst.name, "__serial__", 1, False),
+        lambda: compile_plan(inst.lower, check_diagonal=False),
+    )
+
+
+def _serial_cycles(
+    inst: DatasetInstance, machine: MachineModel, cache: PlanCache
+) -> float:
+    """Serial execution cycles, cached per (instance, machine): pricing
+    the full-matrix cache model dominates the lowering, so the simulated
+    number itself is memoized (``MachineModel`` is frozen, hence a valid
+    key component) and shared by every scheduler in a suite."""
+    return cache.get_or_build(
+        (inst.name, "__serial_cycles__", machine),
+        lambda: simulate_serial(
+            inst.lower, machine, plan=_serial_plan(inst, cache)
+        ),
+    )
 
 
 def run_instance(
@@ -73,6 +163,7 @@ def run_instance(
     *,
     n_cores: int | None = None,
     reorder: bool | None = None,
+    plan_cache: PlanCache | None = None,
 ) -> ExperimentResult:
     """Measure one scheduler on one instance under one machine model.
 
@@ -85,32 +176,40 @@ def run_instance(
         Apply the Section 5 reordering.  ``None`` selects the paper's
         default: on for GrowLocal/Funnel+GL (and block wrappers around
         them), off for the baselines.
+    plan_cache:
+        Shared :class:`~repro.exec.PlanCache`; when given, the
+        (instance, scheduler, cores) triple is scheduled and lowered at
+        most once across every call using the same cache (instances are
+        identified by name).  A private cache is used when omitted.
     """
     cores = machine.n_cores if n_cores is None else min(n_cores,
                                                         machine.n_cores)
     if reorder is None:
         reorder = any(tag in scheduler.name for tag in REORDERING_SCHEDULERS)
 
-    with Timer() as timer:
-        schedule = scheduler.schedule(inst.dag, cores)
+    cache = plan_cache if plan_cache is not None else PlanCache()
+    entry = cache.get_or_build(
+        (inst.name, scheduler.name, cores, bool(reorder)),
+        lambda: _compile_triple(inst, scheduler, cores, bool(reorder)),
+    )
 
-    exec_matrix = inst.lower
-    exec_schedule = schedule
-    if reorder and scheduler.execution_mode == "bsp":
-        perm = schedule_reordering(schedule)
-        exec_matrix = permute_symmetric(inst.lower, perm)
-        exec_schedule = schedule.reorder_vertices(perm)
-
-    if scheduler.execution_mode == "async":
-        sync_dag = getattr(scheduler, "sync_dag", None) or inst.dag
-        sim = simulate_async(exec_matrix, exec_schedule, sync_dag, machine)
+    if entry.mode == "async":
+        sync_dag = entry.sync_dag or inst.dag
+        sim = simulate_async(
+            entry.exec_matrix, entry.exec_schedule, sync_dag, machine,
+            plan=entry.plan,
+        )
         parallel_cycles = sim.total_cycles
     else:
-        sim = simulate_bsp(exec_matrix, exec_schedule, machine)
+        sim = simulate_bsp(
+            entry.exec_matrix, entry.exec_schedule, machine,
+            plan=entry.plan,
+        )
         parallel_cycles = sim.total_cycles
 
-    serial_cycles = simulate_serial(inst.lower, machine)
-    sched_seconds = timer.elapsed
+    serial_cycles = _serial_cycles(inst, machine, cache)
+    schedule = entry.schedule
+    sched_seconds = entry.scheduling_seconds
     serial_seconds = machine.cycles_to_seconds(serial_cycles)
     parallel_seconds = machine.cycles_to_seconds(parallel_cycles)
 
@@ -132,7 +231,9 @@ def run_instance(
             sched_seconds, serial_seconds, parallel_seconds
         ),
         flops_per_cycle=flops_per_cycle(inst.flops, parallel_cycles),
-        reordered=bool(reorder and scheduler.execution_mode == "bsp"),
+        reordered=entry.reordered,
+        plan_cache_hits=cache.hits,
+        plan_cache_misses=cache.misses,
     )
 
 
@@ -143,9 +244,17 @@ def run_suite(
     *,
     n_cores: int | None = None,
     reorder: bool | None = None,
+    plan_cache: PlanCache | None = None,
 ) -> dict[str, list[ExperimentResult]]:
     """Run every scheduler on every instance; returns results grouped by
-    scheduler name (aligned with the instance order)."""
+    scheduler name (aligned with the instance order).
+
+    One :class:`~repro.exec.PlanCache` spans the whole suite (pass your
+    own to span several suites — e.g. the same instances on different
+    machine models): each (instance, scheduler, cores) triple is
+    scheduled, reordered and lowered exactly once, and each instance's
+    serial plan is compiled once and shared by every scheduler."""
+    cache = plan_cache if plan_cache is not None else PlanCache()
     out: dict[str, list[ExperimentResult]] = {name: [] for name in schedulers}
     for inst in instances:
         for name, scheduler in schedulers.items():
@@ -153,6 +262,7 @@ def run_suite(
                 run_instance(
                     inst, scheduler, machine,
                     n_cores=n_cores, reorder=reorder,
+                    plan_cache=cache,
                 )
             )
     return out

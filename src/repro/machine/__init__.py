@@ -17,6 +17,12 @@ schedule and machine parameters:
 * :mod:`~repro.machine.async_sim` — event-driven asynchronous execution
   with point-to-point waits (SpMP's execution model);
 * :mod:`~repro.machine.serial_sim` — the serial baseline.
+
+All three simulators cost their workloads through the single plan-based
+kernel of :mod:`repro.exec.cost`: schedules are lowered once by
+:func:`repro.exec.compile_plan` and the resulting
+:class:`~repro.exec.plan.ExecutionPlan` can be passed to any simulator
+(and to the solvers) to amortize the lowering.
 """
 
 from repro.machine.async_sim import AsyncSimResult, simulate_async

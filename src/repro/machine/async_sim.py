@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exec.cost import row_cost_and_position
+from repro.exec.plan import ExecutionPlan, compile_plan
 from repro.graph.dag import DAG
-from repro.machine.cache import row_costs_for_sequence
 from repro.machine.model import MachineModel
 from repro.matrix.csr import CSRMatrix
 from repro.scheduler.schedule import Schedule
@@ -82,6 +83,8 @@ def simulate_async(
     schedule: Schedule,
     sync_dag: DAG,
     machine: MachineModel,
+    *,
+    plan: ExecutionPlan | None = None,
 ) -> AsyncSimResult:
     """Simulate asynchronous execution of ``schedule`` on ``machine``.
 
@@ -91,19 +94,18 @@ def simulate_async(
         The DAG whose edges require synchronization — for SpMP, the
         transitively reduced DAG (fewer edges, fewer waits).  Must be a
         subgraph of the full dependence DAG covering its reachability.
+    plan:
+        Precompiled plan for ``(lower, schedule)``; compiled on the fly
+        when omitted.  Costing shares the plan-based kernel of
+        :mod:`repro.exec.cost` with the other simulators.
     """
     n = schedule.n
     core_of = schedule.cores
 
-    # per-core program order and per-row costs
-    sequences = schedule.core_sequences()
-    cost = np.zeros(n)
-    seq_pos = np.zeros(n, dtype=np.int64)
-    for seq in sequences:
-        if seq.size == 0:
-            continue
-        cost[seq] = row_costs_for_sequence(lower, seq, machine)
-        seq_pos[seq] = np.arange(seq.size, dtype=np.int64)
+    # per-core program order and per-row costs from the shared kernel
+    if plan is None:
+        plan = compile_plan(lower, schedule, check_diagonal=False)
+    cost, seq_pos = row_cost_and_position(plan, machine)
 
     # global processing order consistent with program order and deps:
     # (superstep, position within core) — deps sit in earlier supersteps

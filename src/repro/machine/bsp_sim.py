@@ -9,6 +9,11 @@ where ``T(s, p)`` sums the per-row costs (compute + cache) of the rows core
 across supersteps, and ``L_arch`` is the machine's barrier cost at the
 number of cores that ever receive work.
 
+Costing runs on the shared plan-based kernel of :mod:`repro.exec.cost`
+(one implementation for the BSP, asynchronous and serial simulators); pass
+a precompiled :class:`~repro.exec.plan.ExecutionPlan` to amortize the
+lowering across repeated simulations of the same ``(matrix, schedule)``.
+
 This is the measurement model behind Tables 7.1/7.3/7.4/7.5 and
 Figures 1.2/7.1/7.2.
 """
@@ -17,7 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.machine.cache import row_costs_for_sequence
+from repro.exec.cost import bsp_cost_matrix
+from repro.exec.plan import ExecutionPlan, compile_plan
 from repro.machine.model import MachineModel
 from repro.machine.serial_sim import simulate_serial
 from repro.matrix.csr import CSRMatrix
@@ -85,22 +91,21 @@ def simulate_bsp(
     lower: CSRMatrix,
     schedule: Schedule,
     machine: MachineModel,
+    *,
+    plan: ExecutionPlan | None = None,
 ) -> BSPSimResult:
-    """Simulate the synchronous execution of ``schedule`` on ``machine``."""
-    n_steps = schedule.n_supersteps
-    n_cores = schedule.n_cores
-    step_core = np.zeros((max(n_steps, 1), n_cores))
-    core_busy = np.zeros(n_cores)
+    """Simulate the synchronous execution of ``schedule`` on ``machine``.
 
-    active_cores = 0
-    for p, seq in enumerate(schedule.core_sequences()):
-        if seq.size == 0:
-            continue
-        active_cores += 1
-        costs = row_costs_for_sequence(lower, seq, machine)
-        steps = schedule.supersteps[seq]
-        np.add.at(step_core[:, p], steps, costs)
-        core_busy[p] = costs.sum()
+    Parameters
+    ----------
+    plan:
+        Precompiled plan for ``(lower, schedule)``; compiled on the fly
+        when omitted (cost models need no diagonal validation).
+    """
+    if plan is None:
+        plan = compile_plan(lower, schedule, check_diagonal=False)
+    n_steps = schedule.n_supersteps
+    step_core, core_busy, active_cores = bsp_cost_matrix(plan, machine)
 
     superstep_cycles = step_core.max(axis=1)
     compute = float(superstep_cycles.sum())

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.machine.model import MachineModel
 from repro.matrix.csr import CSRMatrix
+from repro.utils.arrays import segmented_gather
 
 __all__ = [
     "reuse_distance_misses",
@@ -71,14 +72,9 @@ def x_access_stream(
     """
     seq = np.asarray(seq, dtype=np.int64)
     counts = lower.row_nnz()[seq]
-    chunks = [
-        lower.indices[lower.indptr[r]:lower.indptr[r + 1]]
-        for r in seq.tolist()
-    ]
-    stream = (
-        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-    )
-    return stream, counts
+    # flat gather of every row's column slice, no per-row Python loop
+    flat = segmented_gather(lower.indptr[seq], counts)
+    return lower.indices[flat], counts
 
 
 def row_costs_for_sequence(

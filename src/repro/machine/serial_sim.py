@@ -2,21 +2,29 @@
 
 The serial kernel sweeps rows ``0..n-1`` in storage order — perfect matrix
 streaming and whatever x-vector locality the ordering provides — with no
-synchronization of any kind.
+synchronization of any kind.  Costing shares the plan-based kernel of
+:mod:`repro.exec.cost`; pass a precompiled serial plan to amortize the
+lowering when the same matrix is simulated repeatedly (the experiment
+runner caches one serial plan per instance).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.machine.cache import row_costs_for_sequence
+from repro.exec.cost import per_core_costs
+from repro.exec.plan import ExecutionPlan, compile_plan
 from repro.machine.model import MachineModel
 from repro.matrix.csr import CSRMatrix
 
 __all__ = ["simulate_serial"]
 
 
-def simulate_serial(lower: CSRMatrix, machine: MachineModel) -> float:
+def simulate_serial(
+    lower: CSRMatrix,
+    machine: MachineModel,
+    *,
+    plan: ExecutionPlan | None = None,
+) -> float:
     """Simulated cycles of one serial forward substitution."""
-    seq = np.arange(lower.n, dtype=np.int64)
-    return float(row_costs_for_sequence(lower, seq, machine).sum())
+    if plan is None:
+        plan = compile_plan(lower, check_diagonal=False)
+    return float(sum(c.sum() for c in per_core_costs(plan, machine)))

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.machine.bsp_sim import BSPSimResult, simulate_bsp
-from repro.machine.cache import row_costs_for_sequence
+from repro.exec.cost import bsp_cost_matrix
+from repro.exec.plan import ExecutionPlan, compile_plan
 from repro.machine.model import MachineModel
 from repro.matrix.csr import CSRMatrix
 from repro.scheduler.schedule import Schedule
@@ -88,17 +88,17 @@ def trace_bsp(
     lower: CSRMatrix,
     schedule: Schedule,
     machine: MachineModel,
+    *,
+    plan: ExecutionPlan | None = None,
 ) -> ExecutionTrace:
-    """Build an :class:`ExecutionTrace` for a synchronous execution."""
-    n_steps = max(schedule.n_supersteps, 1)
-    busy = np.zeros((n_steps, schedule.n_cores))
-    active = 0
-    for p, seq in enumerate(schedule.core_sequences()):
-        if seq.size == 0:
-            continue
-        active += 1
-        costs = row_costs_for_sequence(lower, seq, machine)
-        np.add.at(busy[:, p], schedule.supersteps[seq], costs)
+    """Build an :class:`ExecutionTrace` for a synchronous execution.
+
+    Shares the plan-based cost kernel (:mod:`repro.exec.cost`) with the
+    simulators, so trace totals agree with :func:`simulate_bsp` exactly.
+    """
+    if plan is None:
+        plan = compile_plan(lower, schedule, check_diagonal=False)
+    busy, _, active = bsp_cost_matrix(plan, machine)
     return ExecutionTrace(busy, machine.barrier_cost(max(active, 1)))
 
 

@@ -178,14 +178,28 @@ class CSRMatrix:
         lo, hi = self.indptr[i], self.indptr[i + 1]
         return self.indices[lo:hi], self.data[lo:hi]
 
+    def diag_positions(self) -> np.ndarray:
+        """Flat position of each row's diagonal entry in ``indices``/``data``
+        (``-1`` where the row stores no diagonal entry).
+
+        A single masked gather over the flat storage; the execution-plan
+        compiler (:mod:`repro.exec`) reuses this to validate and extract
+        diagonals without any per-row loop.
+        """
+        pos = np.full(self.n, -1, dtype=np.int64)
+        if self.indices.size:
+            rows = np.repeat(np.arange(self.n, dtype=np.int64),
+                             self.row_nnz())
+            hit = np.flatnonzero(self.indices == rows)
+            pos[rows[hit]] = hit
+        return pos
+
     def diagonal(self) -> np.ndarray:
         """Dense diagonal (zeros where the diagonal entry is not stored)."""
+        pos = self.diag_positions()
         d = np.zeros(self.n)
-        for i in range(self.n):
-            cols, vals = self.row(i)
-            pos = np.searchsorted(cols, i)
-            if pos < cols.size and cols[pos] == i:
-                d[i] = vals[pos]
+        stored = pos >= 0
+        d[stored] = self.data[pos[stored]]
         return d
 
     # ------------------------------------------------------------------
@@ -207,12 +221,7 @@ class CSRMatrix:
 
     def has_full_diagonal(self) -> bool:
         """True if every row stores a (possibly zero-valued) diagonal entry."""
-        for i in range(self.n):
-            cols = self.indices[self.indptr[i]:self.indptr[i + 1]]
-            pos = np.searchsorted(cols, i)
-            if pos >= cols.size or cols[pos] != i:
-                return False
-        return True
+        return bool(np.all(self.diag_positions() >= 0))
 
     def require_lower_triangular(self) -> None:
         """Raise :class:`NotTriangularError` unless lower triangular."""

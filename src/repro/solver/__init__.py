@@ -1,16 +1,24 @@
-"""SpTRSV execution: serial kernels, schedule-driven execution, threads.
+"""SpTRSV execution: plan-based kernels, schedule-driven execution, threads.
 
-* :mod:`~repro.solver.sptrsv` — serial forward/backward substitution on CSR
-  (the paper's kernel, Section 6.1);
+All solve paths lower their ``(matrix, schedule)`` pair through the
+:mod:`repro.exec` subsystem — :func:`repro.exec.compile_plan` builds an
+:class:`~repro.exec.plan.ExecutionPlan` once, and a pluggable backend
+kernel (:func:`repro.exec.get_backend`) executes it with one vectorized
+batch per dependency layer.  Precompiled plans can be passed in to
+amortize lowering across repeated solves.
+
+* :mod:`~repro.solver.sptrsv` — forward/backward substitution (the
+  paper's kernel, Section 6.1) plus the per-row reference kernel;
 * :mod:`~repro.solver.scheduled` — executes a
-  :class:`~repro.scheduler.schedule.Schedule` superstep by superstep
-  (deterministic emulation used for correctness verification);
+  :class:`~repro.scheduler.schedule.Schedule` (deterministic emulation
+  used for correctness verification);
 * :mod:`~repro.solver.threaded` — a real ``threading``-based executor with
   barriers (functional parallel execution; the GIL prevents speed-ups in
   CPython but the code path mirrors the OpenMP kernel);
 * :mod:`~repro.solver.cg` / :mod:`~repro.solver.gauss_seidel` — downstream
   consumers of SpTRSV (preconditioned conjugate gradient, Gauß–Seidel),
-  the applications the paper's introduction motivates.
+  the applications the paper's introduction motivates; both compile their
+  plans once and reuse them across iterations.
 """
 
 from repro.solver.backward import (

@@ -4,19 +4,22 @@ The paper's title problem includes both sweep directions and the SpTRSM
 variant (its keywords list "SpTrSV, SpTrSM").  The backward sweep of an
 upper-triangular ``U`` has the *reversed* dependence DAG of ``U^T``'s
 forward sweep; :func:`backward_dag` builds it so any scheduler in the
-library can schedule backward substitution unchanged, and
-:func:`scheduled_backward_sptrsv` executes such a schedule.
+library can schedule backward substitution unchanged.
 
-SpTRSM (``L X = B`` with an ``n x k`` right-hand-side block) reuses one
-schedule across all columns — the cheapest possible form of schedule
-reuse (Table 7.6's amortization with reuse factor ``k`` per solve call).
+Execution goes through :mod:`repro.exec`: plans are compiled with
+``direction="backward"`` (descending-id tie-break inside each dependency
+batch, matching the seed executor), and SpTRSM solves all ``k`` right-hand
+sides through one plan via the backends' block kernel — the cheapest
+possible form of schedule *and plan* reuse (Table 7.6's amortization with
+reuse factor ``k`` per solve call).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import MatrixFormatError, SingularMatrixError
+from repro.errors import MatrixFormatError
+from repro.exec import ExecutionPlan, compile_plan, get_backend
 from repro.graph.dag import DAG
 from repro.matrix.csr import CSRMatrix
 from repro.scheduler.schedule import Schedule
@@ -47,32 +50,18 @@ def backward_dag(upper: CSRMatrix) -> DAG:
     return DAG(upper.n, src, dst, weights, check=False)
 
 
-def _solve_rows_backward(
-    upper: CSRMatrix, b: np.ndarray, x: np.ndarray, rows: np.ndarray
-) -> None:
-    """Solve the given rows of ``U x = b`` (dependencies already in x)."""
-    indptr, indices, data = upper.indptr, upper.indices, upper.data
-    for i in rows:
-        i = int(i)
-        lo, hi = indptr[i], indptr[i + 1]
-        cols = indices[lo:hi]
-        vals = data[lo:hi]
-        if hi == lo or cols[0] != i:
-            raise SingularMatrixError(f"row {i} has no stored diagonal")
-        if vals[0] == 0.0:
-            raise SingularMatrixError(f"zero diagonal at row {i}")
-        x[i] = (b[i] - np.dot(vals[1:], x[cols[1:]])) / vals[0]
-
-
 def scheduled_backward_sptrsv(
     upper: CSRMatrix,
     b: np.ndarray,
     schedule: Schedule,
+    *,
+    plan: ExecutionPlan | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Solve ``U x = b`` following a schedule of :func:`backward_dag`.
 
-    Within each (superstep, core) cell rows run in *descending* id order —
-    the topological order of the backward DAG.
+    Within each dependency batch rows carry *descending* ids — the
+    topological tie-break of the backward DAG.
     """
     if not upper.is_upper_triangular():
         raise MatrixFormatError("matrix is not upper triangular")
@@ -81,66 +70,58 @@ def scheduled_backward_sptrsv(
         raise MatrixFormatError("right-hand side has wrong length")
     if schedule.n != upper.n:
         raise MatrixFormatError("schedule size does not match the matrix")
-
-    x = np.zeros(upper.n)
-    # descending ids are topological for the backward DAG
-    order_hint = -np.arange(upper.n, dtype=np.int64)
-    for step_cells in schedule.execution_lists(order_hint=order_hint):
-        for rows in step_cells:
-            if rows.size:
-                _solve_rows_backward(upper, b, x, rows)
-    return x
+    if plan is None:
+        plan = compile_plan(upper, schedule, direction="backward")
+    else:
+        plan.require_compatible(upper.n, "backward")
+    return get_backend(backend).solve(plan, b)
 
 
-def forward_sptrsm(lower: CSRMatrix, b_block: np.ndarray) -> np.ndarray:
+def _check_block(n: int, b_block: np.ndarray) -> np.ndarray:
+    b_block = np.asarray(b_block, dtype=np.float64)
+    if b_block.ndim != 2 or b_block.shape[0] != n:
+        raise MatrixFormatError("B must be (n, k)")
+    return b_block
+
+
+def forward_sptrsm(
+    lower: CSRMatrix,
+    b_block: np.ndarray,
+    *,
+    plan: ExecutionPlan | None = None,
+    backend: str | None = None,
+) -> np.ndarray:
     """Serial SpTRSM: solve ``L X = B`` for an ``n x k`` block ``B``.
 
-    The inner dot products are vectorized across all ``k`` right-hand
-    sides simultaneously (row-block substitution).
+    One plan drives all ``k`` right-hand sides; the batch kernels
+    vectorize across columns as well as across the rows of each
+    dependency layer.
     """
     lower.require_lower_triangular()
-    b_block = np.asarray(b_block, dtype=np.float64)
-    if b_block.ndim != 2 or b_block.shape[0] != lower.n:
-        raise MatrixFormatError("B must be (n, k)")
-    x = np.zeros_like(b_block)
-    indptr, indices, data = lower.indptr, lower.indices, lower.data
-    for i in range(lower.n):
-        lo, hi = indptr[i], indptr[i + 1]
-        cols = indices[lo:hi]
-        vals = data[lo:hi]
-        if hi == lo or cols[-1] != i:
-            raise SingularMatrixError(f"row {i} has no stored diagonal")
-        if vals[-1] == 0.0:
-            raise SingularMatrixError(f"zero diagonal at row {i}")
-        acc = b_block[i] - vals[:-1] @ x[cols[:-1]]
-        x[i] = acc / vals[-1]
-    return x
+    b_block = _check_block(lower.n, b_block)
+    if plan is None:
+        plan = compile_plan(lower)
+    else:
+        plan.require_compatible(lower.n, "forward")
+    return get_backend(backend).solve_block(plan, b_block)
 
 
 def scheduled_sptrsm(
     lower: CSRMatrix,
     b_block: np.ndarray,
     schedule: Schedule,
+    *,
+    plan: ExecutionPlan | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
-    """Schedule-driven SpTRSM: one schedule drives all ``k`` columns."""
+    """Schedule-driven SpTRSM: one schedule (and plan) drives all ``k``
+    columns."""
     lower.require_lower_triangular()
-    b_block = np.asarray(b_block, dtype=np.float64)
-    if b_block.ndim != 2 or b_block.shape[0] != lower.n:
-        raise MatrixFormatError("B must be (n, k)")
+    b_block = _check_block(lower.n, b_block)
     if schedule.n != lower.n:
         raise MatrixFormatError("schedule size does not match the matrix")
-    x = np.zeros_like(b_block)
-    indptr, indices, data = lower.indptr, lower.indices, lower.data
-    for step_cells in schedule.execution_lists():
-        for rows in step_cells:
-            for i in rows:
-                i = int(i)
-                lo, hi = indptr[i], indptr[i + 1]
-                cols = indices[lo:hi]
-                vals = data[lo:hi]
-                if hi == lo or cols[-1] != i or vals[-1] == 0.0:
-                    raise SingularMatrixError(
-                        f"missing/zero diagonal at row {i}"
-                    )
-                x[i] = (b_block[i] - vals[:-1] @ x[cols[:-1]]) / vals[-1]
-    return x
+    if plan is None:
+        plan = compile_plan(lower, schedule)
+    else:
+        plan.require_compatible(lower.n, "forward")
+    return get_backend(backend).solve_block(plan, b_block)

@@ -1,13 +1,20 @@
 """Schedule-driven SpTRSV execution (deterministic emulation).
 
-Executes a schedule superstep by superstep: within a superstep each core's
-rows are solved in vertex-id order (a topological order of the sub-DAG, per
-Section 5); the "barrier" between supersteps is the sequential boundary.
-Running the cores of a superstep one after the other on a single OS thread
-produces bit-identical results to a true parallel execution because the
-schedule guarantees no intra-superstep cross-core dependencies — this is
-exactly what :meth:`Schedule.validate` checks, and executing through this
-path is an end-to-end test of that guarantee.
+Executes a schedule through the :mod:`repro.exec` subsystem: the
+``(matrix, schedule)`` pair is lowered once into an
+:class:`~repro.exec.plan.ExecutionPlan` whose batches are the
+dependency layers of each superstep, and a backend kernel runs one
+vectorized gather/scatter per batch.  For a valid schedule
+(Definition 2.1) intra-superstep dependencies never cross cores, so the
+batched execution is observationally identical to running each core's
+rows in vertex-id order between barriers — the semantics of the seed's
+per-row emulator.
+
+With ``verify_dependencies=True`` the seed's per-row reference path is
+used instead: it asserts before each row that all dependencies were
+computed in an earlier superstep or earlier on the same core, catching
+invalid schedules at the exact failing row (the test-suite's
+failure-injection hook).
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import MatrixFormatError
+from repro.exec import ExecutionPlan, compile_plan, get_backend
 from repro.matrix.csr import CSRMatrix
 from repro.scheduler.schedule import Schedule
 from repro.solver.sptrsv import solve_rows
@@ -28,16 +36,24 @@ def scheduled_sptrsv(
     schedule: Schedule,
     *,
     verify_dependencies: bool = False,
+    plan: ExecutionPlan | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Solve ``L x = b`` following ``schedule``.
 
     Parameters
     ----------
     verify_dependencies:
-        When true, assert before each row that all of its dependencies were
-        computed in an earlier superstep or earlier on the same core —
-        catching invalid schedules at the exact failing row (used by the
-        test-suite's failure-injection tests).
+        When true, run the per-row reference path and assert before each
+        row that all of its dependencies were computed in an earlier
+        superstep or earlier on the same core — catching invalid
+        schedules at the exact failing row (used by the test-suite's
+        failure-injection tests).
+    plan:
+        Precompiled plan for ``(lower, schedule)``; compiled on the fly
+        when omitted.  Ignored on the verification path.
+    backend:
+        Execution backend name (default auto-selection).
     """
     lower.require_lower_triangular()
     b = np.asarray(b, dtype=np.float64)
@@ -46,17 +62,23 @@ def scheduled_sptrsv(
     if schedule.n != lower.n:
         raise MatrixFormatError("schedule size does not match the matrix")
 
-    x = np.zeros(lower.n)
-    computed = np.zeros(lower.n, dtype=bool) if verify_dependencies else None
-    lists = schedule.execution_lists()
-    for step, step_cells in enumerate(lists):
-        for core, rows in enumerate(step_cells):
-            if rows.size == 0:
-                continue
-            if computed is not None:
+    if verify_dependencies:
+        x = np.zeros(lower.n)
+        computed = np.zeros(lower.n, dtype=bool)
+        lists = schedule.execution_lists()
+        for step, step_cells in enumerate(lists):
+            for core, rows in enumerate(step_cells):
+                if rows.size == 0:
+                    continue
                 _verify_cell(lower, schedule, rows, step, core, computed)
-            solve_rows(lower, b, x, rows)
-    return x
+                solve_rows(lower, b, x, rows)
+        return x
+
+    if plan is None:
+        plan = compile_plan(lower, schedule)
+    else:
+        plan.require_compatible(lower.n, "forward")
+    return get_backend(backend).solve(plan, b)
 
 
 def _verify_cell(

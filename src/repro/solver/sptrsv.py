@@ -1,12 +1,20 @@
-"""Serial sparse triangular solve kernels (forward/backward substitution).
+"""Sparse triangular solve kernels (forward/backward substitution).
 
-The paper's kernel (Section 6.1): iterate rows of the CSR matrix in order,
-computing Eq. 2.1:
+The paper's kernel (Section 6.1) computes Eq. 2.1:
 
     x_i = (b_i - sum_{j < i} A_ij x_j) / A_ii.
 
-The inner dot product is vectorized with NumPy slices; the outer loop is
-inherently sequential (each row may depend on all previous ones).
+Both sweeps are executed through the :mod:`repro.exec` subsystem: the
+matrix is lowered once into an :class:`~repro.exec.plan.ExecutionPlan`
+(dependency-layer batches, contiguous gather arrays, compile-time diagonal
+validation) and a pluggable backend kernel runs it — one vectorized batch
+per dependency layer instead of one interpreted iteration per row.  Pass a
+precompiled ``plan`` to amortize the lowering across repeated solves with
+the same matrix (CG, Gauss-Seidel, SpTRSM).
+
+:func:`solve_rows` remains as the seed's reference per-row kernel; the
+schedule-verification path and the thread-based executor's cell kernels
+are specified against it.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import MatrixFormatError, SingularMatrixError
+from repro.exec import ExecutionPlan, compile_plan, get_backend
 from repro.matrix.csr import CSRMatrix
 
 __all__ = ["forward_substitution", "backward_substitution", "solve_rows"]
@@ -27,7 +36,11 @@ def solve_rows(
 ) -> None:
     """Solve the given ``rows`` of ``L x = b`` in the given order, writing
     into ``x`` (which must already contain valid values for all
-    dependencies).  This is the per-core unit of work of every executor.
+    dependencies).
+
+    This is the reference per-row kernel the vectorized plan-based
+    execution (:mod:`repro.exec`) is validated against; production paths
+    compile a plan instead.
     """
     indptr, indices, data = lower.indptr, lower.indices, lower.data
     for i in rows:
@@ -46,34 +59,50 @@ def solve_rows(
         x[i] = acc / diag
 
 
-def forward_substitution(lower: CSRMatrix, b: np.ndarray) -> np.ndarray:
-    """Solve ``L x = b`` for lower-triangular ``L`` (Eq. 2.1)."""
-    lower.require_lower_triangular()
+def _check_rhs(n: int, b: np.ndarray) -> np.ndarray:
     b = np.asarray(b, dtype=np.float64)
-    if b.shape != (lower.n,):
+    if b.shape != (n,):
         raise MatrixFormatError("right-hand side has wrong length")
-    x = np.zeros(lower.n)
-    solve_rows(lower, b, x, np.arange(lower.n, dtype=np.int64))
-    return x
+    return b
 
 
-def backward_substitution(upper: CSRMatrix, b: np.ndarray) -> np.ndarray:
+def forward_substitution(
+    lower: CSRMatrix,
+    b: np.ndarray,
+    *,
+    plan: ExecutionPlan | None = None,
+    backend: str | None = None,
+) -> np.ndarray:
+    """Solve ``L x = b`` for lower-triangular ``L`` (Eq. 2.1).
+
+    Parameters
+    ----------
+    plan:
+        Precompiled plan for ``lower`` (``direction="forward"``); compiled
+        on the fly when omitted.
+    backend:
+        Execution backend name (default: auto-selected, see
+        :func:`repro.exec.get_backend`).
+    """
+    if plan is None:
+        plan = compile_plan(lower)
+    else:
+        plan.require_compatible(lower.n, "forward")
+    b = _check_rhs(plan.n, b)
+    return get_backend(backend).solve(plan, b)
+
+
+def backward_substitution(
+    upper: CSRMatrix,
+    b: np.ndarray,
+    *,
+    plan: ExecutionPlan | None = None,
+    backend: str | None = None,
+) -> np.ndarray:
     """Solve ``U x = b`` for upper-triangular ``U`` (reverse sweep)."""
-    if not upper.is_upper_triangular():
-        raise MatrixFormatError("matrix is not upper triangular")
-    b = np.asarray(b, dtype=np.float64)
-    if b.shape != (upper.n,):
-        raise MatrixFormatError("right-hand side has wrong length")
-    x = np.zeros(upper.n)
-    indptr, indices, data = upper.indptr, upper.indices, upper.data
-    for i in range(upper.n - 1, -1, -1):
-        lo, hi = indptr[i], indptr[i + 1]
-        cols = indices[lo:hi]
-        vals = data[lo:hi]
-        if hi == lo or cols[0] != i:
-            raise SingularMatrixError(f"row {i} has no stored diagonal entry")
-        diag = vals[0]
-        if diag == 0.0:
-            raise SingularMatrixError(f"zero diagonal at row {i}")
-        x[i] = (b[i] - np.dot(vals[1:], x[cols[1:]])) / diag
-    return x
+    if plan is None:
+        plan = compile_plan(upper, direction="backward")
+    else:
+        plan.require_compatible(upper.n, "backward")
+    b = _check_rhs(plan.n, b)
+    return get_backend(backend).solve(plan, b)

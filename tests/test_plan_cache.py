@@ -1,0 +1,165 @@
+"""Tests for the plan cache and its integration with the experiment
+runner, plus the scheduling-time measurement scope fix."""
+
+import numpy as np
+import pytest
+
+from repro.exec import PlanCache, compile_plan
+from repro.experiments.datasets import DatasetInstance
+from repro.experiments.runner import run_instance, run_suite
+from repro.machine.model import MachineModel
+from repro.matrix.generators import erdos_renyi_lower
+from repro.scheduler import (
+    GrowLocalScheduler,
+    SpMPScheduler,
+    WavefrontScheduler,
+)
+
+MACHINE = MachineModel(
+    name="tiny", n_cores=4, barrier_latency=50.0, cache_lines=64,
+)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return [
+        DatasetInstance("pc_er_a", erdos_renyi_lower(300, 0.012, seed=1)),
+        DatasetInstance("pc_er_b", erdos_renyi_lower(250, 0.015, seed=2)),
+    ]
+
+
+class TestPlanCache:
+    def test_get_or_build_counts(self):
+        cache = PlanCache()
+        calls = []
+        assert cache.get_or_build("a", lambda: calls.append(1) or 10) == 10
+        assert cache.get_or_build("a", lambda: calls.append(1) or 20) == 10
+        assert len(calls) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.get_or_build("a", lambda: 1)
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_max_entries_evicts_oldest(self):
+        cache = PlanCache(max_entries=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        cache.get_or_build("c", lambda: 3)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_repr(self):
+        assert "PlanCache" in repr(PlanCache())
+
+
+class TestRunnerIntegration:
+    def test_suite_compiles_each_triple_once(self, instances):
+        """The acceptance criterion: one compile per (instance, scheduler,
+        cores) triple plus one serial plan per instance; everything else
+        is a hit."""
+        cache = PlanCache()
+        schedulers = {
+            "gl": GrowLocalScheduler(),
+            "wf": WavefrontScheduler(),
+            "spmp": SpMPScheduler(),
+        }
+        results = run_suite(instances, schedulers, MACHINE,
+                            plan_cache=cache)
+        n_inst, n_sched = len(instances), len(schedulers)
+        # one miss per triple + one serial plan and one serial-cycles
+        # entry per instance
+        assert cache.misses == n_inst * n_sched + 2 * n_inst
+        # the serial simulation is reused by every scheduler after the
+        # first one on each instance
+        assert cache.hits == n_inst * (n_sched - 1)
+        # counters surface on the results; the last result carries totals
+        last = results["spmp"][-1]
+        assert last.plan_cache_misses == cache.misses
+        assert last.plan_cache_hits == cache.hits
+
+    def test_second_suite_is_all_hits(self, instances):
+        cache = PlanCache()
+        schedulers = {"gl": GrowLocalScheduler(),
+                      "wf": WavefrontScheduler()}
+        first = run_suite(instances, schedulers, MACHINE, plan_cache=cache)
+        misses_after_first = cache.misses
+        second = run_suite(instances, schedulers, MACHINE,
+                           plan_cache=cache)
+        assert cache.misses == misses_after_first  # nothing recompiled
+        # identical numbers out of the cached artifacts
+        for name in schedulers:
+            for a, b in zip(first[name], second[name]):
+                assert a.speedup == b.speedup
+                assert a.parallel_cycles == b.parallel_cycles
+                assert a.scheduling_seconds == b.scheduling_seconds
+
+    def test_shared_cache_across_machines(self, instances):
+        """Plans depend only on (instance, scheduler, cores) — sharing a
+        cache across machine models reuses every compile; only the
+        machine-specific serial pricing is re-simulated."""
+        cache = PlanCache()
+        run_instance(instances[0], GrowLocalScheduler(), MACHINE,
+                     plan_cache=cache)
+        misses = cache.misses
+        other = MachineModel(name="tiny8", n_cores=4,
+                             barrier_latency=500.0, cache_lines=32)
+        r = run_instance(instances[0], GrowLocalScheduler(), other,
+                         plan_cache=cache)
+        # exactly one new entry: the other machine's serial cycles
+        assert cache.misses == misses + 1
+        assert r.plan_cache_hits > 0
+
+    def test_private_cache_by_default(self, instances):
+        r1 = run_instance(instances[0], WavefrontScheduler(), MACHINE)
+        # triple + serial cycles + serial plan
+        assert r1.plan_cache_misses == 3
+        assert r1.plan_cache_hits == 0
+
+    def test_cached_results_match_uncached(self, instances):
+        cache = PlanCache()
+        warm = run_instance(instances[0], WavefrontScheduler(), MACHINE,
+                            plan_cache=cache)
+        again = run_instance(instances[0], WavefrontScheduler(), MACHINE,
+                             plan_cache=cache)
+        fresh = run_instance(instances[0], WavefrontScheduler(), MACHINE)
+        assert warm.parallel_cycles == again.parallel_cycles
+        assert warm.parallel_cycles == fresh.parallel_cycles
+        assert warm.serial_cycles == fresh.serial_cycles
+
+    def test_async_scheduler_cached(self, instances):
+        cache = PlanCache()
+        a = run_instance(instances[0], SpMPScheduler(), MACHINE,
+                         plan_cache=cache)
+        b = run_instance(instances[0], SpMPScheduler(), MACHINE,
+                         plan_cache=cache)
+        assert a.parallel_cycles == b.parallel_cycles
+        assert cache.hits > 0
+
+    def test_as_row_includes_counters(self, instances):
+        r = run_instance(instances[0], WavefrontScheduler(), MACHINE)
+        row = r.as_row()
+        assert "plan_cache_hits" in row and "plan_cache_misses" in row
+
+
+class TestSchedulingTimeScope:
+    def test_reordering_counted_in_scheduling_seconds(self, instances):
+        """Section 5 reordering is scheduling-side work (Eq. 7.1): with
+        reordering on, scheduling_seconds must include the permutation,
+        so it can only grow relative to the pure scheduling time."""
+        inst = instances[0]
+        r = run_instance(inst, GrowLocalScheduler(), MACHINE)
+        assert r.reordered
+        assert r.scheduling_seconds > 0.0
+
+    def test_amortization_uses_inclusive_time(self, instances):
+        inst = instances[0]
+        r = run_instance(inst, GrowLocalScheduler(), MACHINE)
+        serial_s = MACHINE.cycles_to_seconds(r.serial_cycles)
+        parallel_s = MACHINE.cycles_to_seconds(r.parallel_cycles)
+        expected = r.scheduling_seconds / (serial_s - parallel_s)
+        assert r.amortization == pytest.approx(expected)
