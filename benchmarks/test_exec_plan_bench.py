@@ -8,7 +8,12 @@ order of magnitude; the floor leaves room for slow CI machines).
 
 Also measures the amortization picture — compile once, solve many — and
 the scheduled path, mirroring the reuse scenarios of Table 7.6.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the instance (assertions stay on) so CI
+can exercise the perf floor on every push.
 """
+
+import os
 
 import numpy as np
 
@@ -20,7 +25,8 @@ from repro.scheduler import GrowLocalScheduler
 from repro.solver.sptrsv import solve_rows
 from repro.utils.timing import Timer
 
-N = 10_000
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+N = 4_000 if SMOKE else 10_000
 DENSITY = 2e-3
 REPEATS = 5
 

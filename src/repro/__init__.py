@@ -34,7 +34,10 @@ Subpackages
 ``repro.machine``    the simulated multicore (BSP + asynchronous models)
 ``repro.solver``     SpTRSV kernels, scheduled/threaded execution, PCG,
                      Gauß–Seidel
-``repro.experiments`` datasets, runner, metrics, tables and figures
+``repro.service``    concurrent solve service: keyed requests coalesced
+                     into SpTRSM micro-batches, per-system stats
+``repro.experiments`` datasets, runner (sequential + process-sharded),
+                     metrics, tables and figures
 """
 
 from repro.errors import (
@@ -69,6 +72,7 @@ from repro.scheduler import (
     WavefrontScheduler,
     make_scheduler,
 )
+from repro.service import SolveService
 from repro.solver import (
     backward_substitution,
     forward_substitution,
@@ -99,6 +103,7 @@ __all__ = [
     "Scheduler",
     "SerialScheduler",
     "SingularMatrixError",
+    "SolveService",
     "SpMPScheduler",
     "WavefrontScheduler",
     "__version__",

@@ -8,6 +8,8 @@ Exposes the library's main workflows without writing Python::
     python -m repro simulate  --matrix L.mtx --schedule sched.json \
                               --machine intel_xeon_6238t
     python -m repro compare   --matrix L.mtx --cores 22
+    python -m repro suite     --dataset narrow_band --workers 4 \
+                              --schedulers growlocal,hdagg
     python -m repro generate  --kind erdos_renyi --n 10000 --p 5e-4 \
                               --output L.mtx
     python -m repro datasets  --name suitesparse
@@ -82,6 +84,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", type=int, default=22)
     p.add_argument("--machine", default="intel_xeon_6238t",
                    choices=list_machines())
+
+    p = sub.add_parser(
+        "suite",
+        help="dataset x scheduler sweep, optionally sharded across "
+             "worker processes",
+    )
+    p.add_argument("--dataset", default="narrow_band",
+                   help="dataset name (see 'repro datasets')")
+    p.add_argument("--schedulers", default="growlocal,funnel+gl,hdagg",
+                   help="comma-separated scheduler names")
+    p.add_argument("--machine", default="intel_xeon_6238t",
+                   choices=list_machines())
+    p.add_argument("--cores", type=int, default=None,
+                   help="cores to schedule for (default: machine cores)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes sharding the instances "
+                        "(1 = run in-process)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="only the first K instances of the dataset")
 
     p = sub.add_parser("generate", help="generate a test matrix")
     p.add_argument("--kind", required=True,
@@ -181,6 +202,64 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_suite(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.experiments.datasets import build_dataset
+    from repro.experiments.parallel import run_suite_parallel
+    from repro.experiments.runner import geomean_speedups
+    from repro.experiments.tables import format_table
+    from repro.utils.stats import geometric_mean
+
+    instances = list(build_dataset(args.dataset))
+    if args.limit is not None:
+        instances = instances[: args.limit]
+    if not instances:
+        raise ConfigurationError(f"dataset {args.dataset!r} is empty")
+    names = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    unknown = sorted(set(names) - set(available_schedulers()))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown schedulers {unknown}; available: "
+            f"{available_schedulers()}"
+        )
+    schedulers = {name: make_scheduler(name) for name in names}
+    machine = get_machine(args.machine)
+
+    with Timer() as t:
+        results = run_suite_parallel(
+            instances, schedulers, machine,
+            n_cores=args.cores, workers=args.workers,
+        )
+
+    geo = geomean_speedups(results)
+    rows = []
+    for name in names:
+        rs = results[name]
+        # amortization is inf where the parallel execution is not faster
+        # than serial; the geomean is taken over the finite entries only
+        finite = [r.amortization for r in rs
+                  if 0 < r.amortization < float("inf")]
+        rows.append([
+            name,
+            f"{geo[name]:.2f}x",
+            f"{geometric_mean([max(r.n_supersteps, 1) for r in rs]):.0f}",
+            f"{sum(r.scheduling_seconds for r in rs):.3f}s",
+            f"{geometric_mean(finite):.0f}" if finite else "-",
+        ])
+    any_result = results[names[0]][0]
+    print(format_table(
+        ["scheduler", "geomean speed-up", "geo supersteps",
+         "sched time", "geo amortization"],
+        rows,
+        title=f"suite: {args.dataset} ({len(instances)} instances, "
+              f"{machine.name}, {args.workers} worker(s))",
+    ))
+    print(f"wall time {t.elapsed:.2f}s; plan cache: "
+          f"{any_result.plan_cache_hits} hits, "
+          f"{any_result.plan_cache_misses} misses across all workers")
+    return 0
+
+
 def _cmd_generate(args) -> int:
     from repro.matrix.generators import (
         erdos_renyi_lower,
@@ -234,6 +313,7 @@ _COMMANDS = {
     "solve": _cmd_solve,
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
+    "suite": _cmd_suite,
     "generate": _cmd_generate,
     "datasets": _cmd_datasets,
     "machines": _cmd_machines,

@@ -15,9 +15,10 @@ pools, sharding, native kernels) plugs into:
   Python;
 * :mod:`~repro.exec.cost` — the single plan-based cost kernel shared by
   the BSP, asynchronous and serial machine simulators;
-* :mod:`~repro.exec.plan_cache` — a keyed :class:`PlanCache` with
-  hit/miss counters so the experiment runner compiles each
-  (instance, scheduler, cores) triple exactly once.
+* :mod:`~repro.exec.plan_cache` — a keyed, thread-safe LRU
+  :class:`PlanCache` with hit/miss counters, shared by the experiment
+  runners (each (instance, scheduler, cores) triple compiled exactly
+  once per worker) and the :class:`~repro.service.SolveService`.
 """
 
 from repro.exec.backends import (

@@ -26,7 +26,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import BackendUnavailableError, ConfigurationError
+from repro.errors import (
+    BackendUnavailableError,
+    ConfigurationError,
+    MatrixFormatError,
+)
 from repro.exec.plan import ExecutionPlan
 
 __all__ = [
@@ -72,8 +76,76 @@ class ExecutionBackend:
         """Solve for an ``(n, k)`` right-hand-side block (SpTRSM)."""
         raise NotImplementedError
 
+    @staticmethod
+    def _check_rhs(plan: ExecutionPlan, b: np.ndarray) -> np.ndarray:
+        """Validate a single RHS against the plan and coerce to float64.
+
+        Integer (or lower-precision) right-hand sides would otherwise
+        propagate their dtype into intermediates and outputs, silently
+        truncating results."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (plan.n,):
+            raise MatrixFormatError(
+                f"right-hand side has shape {b.shape}, plan covers "
+                f"{plan.n} rows"
+            )
+        return b
+
+    @staticmethod
+    def _check_rhs_block(
+        plan: ExecutionPlan, b_block: np.ndarray
+    ) -> np.ndarray:
+        """Validate an ``(n, k)`` RHS block and coerce to float64."""
+        b_block = np.asarray(b_block, dtype=np.float64)
+        if b_block.ndim != 2 or b_block.shape[0] != plan.n:
+            raise MatrixFormatError(
+                f"right-hand-side block has shape {b_block.shape}, "
+                f"expected ({plan.n}, k)"
+            )
+        return b_block
+
+    @staticmethod
+    def _check_out(x: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+        """Validate a caller-supplied output buffer.
+
+        Unlike the RHS, the output cannot be silently coerced — the
+        caller expects results *in this buffer* — so a wrong dtype or
+        shape raises instead (an integer buffer would truncate every
+        result, the bug the RHS coercion fixes)."""
+        if x.shape != shape:
+            raise MatrixFormatError(
+                f"output buffer has shape {x.shape}, expected {shape}"
+            )
+        if x.dtype != np.float64:
+            raise MatrixFormatError(
+                f"output buffer must be float64, got {x.dtype}"
+            )
+        return x
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _segment_sums(
+    contrib: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Sum contiguous row segments of ``contrib`` (1-D or 2-D) into ``out``.
+
+    ``out[i]`` receives ``contrib[starts[i]:starts[i]+counts[i]].sum(0)``.
+    Built on ``np.add.reduceat`` restricted to the non-empty segments:
+    reduceat mis-handles empty segments (a repeated index returns the
+    element at that position, a start index equal to ``len(contrib)``
+    raises), so those rows keep their zero initialization instead.  The
+    accumulation order is identical for 1-D and 2-D inputs, which is what
+    makes single-RHS and block solves bit-equal column for column.
+    """
+    nz = np.flatnonzero(counts)
+    if nz.size:
+        out[nz] = np.add.reduceat(contrib, starts[nz], axis=0)
+    return out
 
 
 class NumpyBackend(ExecutionBackend):
@@ -82,7 +154,10 @@ class NumpyBackend(ExecutionBackend):
     Rows inside a batch are mutually independent by construction, so the
     whole batch is computed with flat-array NumPy operations; the Python
     interpreter is entered once per dependency layer instead of once per
-    row.
+    row.  The single-RHS and block kernels share one segment-sum
+    (:func:`_segment_sums`), so ``solve_block`` columns are bit-equal to
+    the corresponding ``solve`` results — the invariant the coalescing
+    :class:`~repro.service.SolveService` relies on.
     """
 
     name = "numpy"
@@ -94,19 +169,25 @@ class NumpyBackend(ExecutionBackend):
         x: np.ndarray | None = None,
     ) -> np.ndarray:
         plan.require_solvable()
+        b = self._check_rhs(plan, b)
         if x is None:
             x = np.zeros(plan.n)
+        else:
+            x = self._check_out(x, (plan.n,))
         rows, batch_ptr = plan.rows, plan.batch_ptr
         off_ptr, off_cols = plan.off_ptr, plan.off_cols
-        off_vals, off_local, diag = plan.off_vals, plan.off_local, plan.diag
+        off_vals, diag = plan.off_vals, plan.diag
         for t in range(plan.n_batches):
             lo, hi = batch_ptr[t], batch_ptr[t + 1]
             r = rows[lo:hi]
             s0, s1 = off_ptr[lo], off_ptr[hi]
             if s1 > s0:
                 contrib = off_vals[s0:s1] * x[off_cols[s0:s1]]
-                sums = np.bincount(
-                    off_local[s0:s1], weights=contrib, minlength=hi - lo
+                sums = _segment_sums(
+                    contrib,
+                    off_ptr[lo:hi] - s0,
+                    off_ptr[lo + 1:hi + 1] - off_ptr[lo:hi],
+                    np.zeros(hi - lo),
                 )
                 x[r] = (b[r] - sums) / diag[lo:hi]
             else:
@@ -120,28 +201,34 @@ class NumpyBackend(ExecutionBackend):
         x_block: np.ndarray | None = None,
     ) -> np.ndarray:
         plan.require_solvable()
+        b_block = self._check_rhs_block(plan, b_block)
         if x_block is None:
-            x_block = np.zeros_like(b_block)
+            # float allocation, never np.zeros_like: an integer RHS block
+            # would otherwise silently truncate every result column
+            x_block = np.zeros(b_block.shape)
+        else:
+            x_block = self._check_out(x_block, b_block.shape)
         rows, batch_ptr = plan.rows, plan.batch_ptr
         off_ptr, off_cols = plan.off_ptr, plan.off_cols
-        off_vals, off_local, diag = plan.off_vals, plan.off_local, plan.diag
-        width = b_block.shape[1]
+        off_vals, diag = plan.off_vals, plan.diag
         for t in range(plan.n_batches):
             lo, hi = batch_ptr[t], batch_ptr[t + 1]
             r = rows[lo:hi]
             s0, s1 = off_ptr[lo], off_ptr[hi]
             if s1 > s0:
+                # (nnz, k) contributions: each gathered index feeds all k
+                # columns at once, amortizing the random access the
+                # single-RHS kernel pays per column; the shared
+                # segment-sum keeps every column bit-equal to solve()
                 contrib = (
                     off_vals[s0:s1, None] * x_block[off_cols[s0:s1]]
                 )
-                # one flat bincount over (segment, column) ids — the same
-                # fast segment-sum path as the single-RHS kernel
-                ids = (off_local[s0:s1, None] * width
-                       + np.arange(width, dtype=np.int64)).ravel()
-                sums = np.bincount(
-                    ids, weights=contrib.ravel(),
-                    minlength=(hi - lo) * width,
-                ).reshape(hi - lo, width)
+                sums = _segment_sums(
+                    contrib,
+                    off_ptr[lo:hi] - s0,
+                    off_ptr[lo + 1:hi + 1] - off_ptr[lo:hi],
+                    np.zeros((hi - lo, contrib.shape[1])),
+                )
                 x_block[r] = (b_block[r] - sums) / diag[lo:hi, None]
             else:
                 x_block[r] = b_block[r] / diag[lo:hi, None]
@@ -209,11 +296,14 @@ class NumbaBackend(ExecutionBackend):
         x: np.ndarray | None = None,
     ) -> np.ndarray:  # pragma: no cover - requires numba
         plan.require_solvable()
+        b = np.ascontiguousarray(self._check_rhs(plan, b))
         if x is None:
             x = np.zeros(plan.n)
+        else:
+            x = self._check_out(x, (plan.n,))
         self._compiled()(
             plan.rows, plan.off_ptr, plan.off_cols, plan.off_vals,
-            plan.diag, np.ascontiguousarray(b, dtype=np.float64), x,
+            plan.diag, b, x,
         )
         return x
 
@@ -224,12 +314,14 @@ class NumbaBackend(ExecutionBackend):
         x_block: np.ndarray | None = None,
     ) -> np.ndarray:  # pragma: no cover - requires numba
         plan.require_solvable()
+        b_block = np.ascontiguousarray(self._check_rhs_block(plan, b_block))
         if x_block is None:
-            x_block = np.zeros_like(b_block)
+            x_block = np.zeros(b_block.shape)
+        else:
+            x_block = self._check_out(x_block, b_block.shape)
         self._compiled_block()(
             plan.rows, plan.off_ptr, plan.off_cols, plan.off_vals,
-            plan.diag,
-            np.ascontiguousarray(b_block, dtype=np.float64), x_block,
+            plan.diag, b_block, x_block,
         )
         return x_block
 

@@ -72,11 +72,9 @@ class ExecutionPlan:
     off_ptr / off_cols / off_vals:
         Concatenated off-diagonal gather structure aligned with positions
         in ``rows``: position ``k`` reads
-        ``off_cols[off_ptr[k]:off_ptr[k+1]]``.
-    off_local:
-        ``int64[nnz_off]`` — for each off-diagonal entry, the position of
-        its row *within its batch* (the segment id of the vectorized
-        segment-sum).
+        ``off_cols[off_ptr[k]:off_ptr[k+1]]`` — within a batch these are
+        contiguous segments, which is what the backends' segment-sum
+        kernels exploit.
     diag:
         ``float64[n]`` — diagonal value per position in ``rows``.
     pos:
@@ -102,7 +100,6 @@ class ExecutionPlan:
         "off_ptr",
         "off_cols",
         "off_vals",
-        "off_local",
         "diag",
         "pos",
         "core_rows",
@@ -327,11 +324,6 @@ def compile_plan(
     flat = segmented_gather(off_indptr_all[rows], counts_pos)
     off_cols = off_cols_all[flat]
     off_vals = off_vals_all[flat]
-    batch_of_pos = np.repeat(
-        np.arange(batch_ptr.size - 1, dtype=np.int64), np.diff(batch_ptr)
-    )
-    pos_in_batch = np.arange(n, dtype=np.int64) - batch_ptr[batch_of_pos]
-    off_local = np.repeat(pos_in_batch, counts_pos)
 
     pos = np.empty(n, dtype=np.int64)
     pos[rows] = np.arange(n, dtype=np.int64)
@@ -364,7 +356,6 @@ def compile_plan(
         off_ptr=off_ptr,
         off_cols=off_cols,
         off_vals=off_vals,
-        off_local=off_local,
         diag=diag_by_row[rows],
         pos=pos,
         core_rows=core_rows,

@@ -7,10 +7,26 @@ reordering stage, again for the simulation, again for every solve.  A
 matrices, whole scheduler runs) under a caller-chosen hashable key and
 counts hits and misses so callers (and tests) can verify that each
 (instance, scheduler, cores) triple is compiled exactly once.
+
+The cache is **thread-safe** and, when bounded, evicts in **LRU** order:
+every hit moves its entry to the most-recently-used end, so the entries
+every consumer keeps coming back to (an instance's ``__serial__`` plan,
+hit by every scheduler of a suite) survive however many one-shot entries
+stream past them.  A plain FIFO bound would evict exactly those hottest,
+first-inserted entries first.
+
+Builders run *outside* the lock: compiling a plan can take seconds, and
+holding the lock across it would serialize every other thread sharing
+the cache (the :class:`~repro.service.SolveService` worker, the suite
+runner).  Two threads racing to build the same key may both invoke the
+builder; the first insertion wins and both observe the same cached value
+afterwards — builders are pure, so the duplicate work is the only cost.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Callable, Hashable, TypeVar
 
 __all__ = ["PlanCache"]
@@ -19,7 +35,7 @@ T = TypeVar("T")
 
 
 class PlanCache:
-    """A get-or-build memo with hit/miss accounting.
+    """A thread-safe get-or-build memo with hit/miss accounting.
 
     Examples
     --------
@@ -32,47 +48,82 @@ class PlanCache:
     (1, 1)
     """
 
-    __slots__ = ("_entries", "hits", "misses", "max_entries")
+    __slots__ = ("_entries", "_lock", "hits", "misses", "max_entries")
 
     def __init__(self, *, max_entries: int | None = None) -> None:
-        self._entries: dict[Hashable, object] = {}
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
-        #: Optional bound; when exceeded the oldest entry is evicted
-        #: (insertion order — compiled plans are cheap to rebuild, so a
-        #: simple FIFO bound is enough to cap memory on huge suites).
+        #: Optional bound; when exceeded the least-recently-used entry is
+        #: evicted (compiled plans are cheap to rebuild, so a bound only
+        #: caps memory — but it must not evict the entries a suite hits
+        #: on every run, hence LRU rather than FIFO).
         self.max_entries = max_entries
 
     def get_or_build(self, key: Hashable, builder: Callable[[], T]) -> T:
-        """Return the cached value for ``key``, building it on first use."""
-        if key in self._entries:
-            self.hits += 1
-            return self._entries[key]  # type: ignore[return-value]
-        self.misses += 1
+        """Return the cached value for ``key``, building it on first use.
+
+        The builder runs without holding the cache lock; concurrent
+        callers racing on the same key may build twice, and the first
+        insertion wins (builders must be pure).
+        """
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]  # type: ignore[return-value]
+            self.misses += 1
         value = builder()
-        self._entries[key] = value
-        if (
-            self.max_entries is not None
-            and len(self._entries) > self.max_entries
-        ):
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
+        with self._lock:
+            if key in self._entries:
+                # another thread built it while we were; keep the first
+                # insertion as the canonical value
+                self._entries.move_to_end(key)
+                return self._entries[key]  # type: ignore[return-value]
+            self._entries[key] = value
+            if (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            ):
+                self._entries.popitem(last=False)  # least recently used
+        return value
+
+    def put(self, key: Hashable, value: T) -> T:
+        """Insert or replace ``key`` directly (no hit/miss accounting).
+
+        For callers that detect a cached value has gone stale (e.g. a
+        service re-registering a system key with new inputs) and need to
+        swap in a rebuilt artifact; the entry lands at the
+        most-recently-used end.
+        """
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            ):
+                self._entries.popitem(last=False)
         return value
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __repr__(self) -> str:
         return (
-            f"PlanCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"PlanCache(entries={len(self)}, hits={self.hits}, "
             f"misses={self.misses})"
         )

@@ -14,6 +14,7 @@ from repro.experiments.metrics import (
     amortization_threshold,
     barrier_reduction,
 )
+from repro.experiments.parallel import run_suite_parallel
 from repro.experiments.runner import (
     ExperimentResult,
     run_instance,
@@ -29,4 +30,5 @@ __all__ = [
     "dataset_names",
     "run_instance",
     "run_suite",
+    "run_suite_parallel",
 ]

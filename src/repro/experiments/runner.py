@@ -48,6 +48,11 @@ __all__ = ["ExperimentResult", "run_instance", "run_suite",
 
 #: Schedulers that include the Section 5 reordering step by default
 #: (the paper applies it to its own algorithms, not to the baselines).
+#: Matched by *exact* name as a fallback for duck-typed schedulers; the
+#: primary signal is the :attr:`~repro.scheduler.base.Scheduler
+#: .reorders_by_default` flag declared on the scheduler itself (wrappers
+#: such as :class:`~repro.scheduler.block.BlockScheduler` propagate their
+#: inner scheduler's flag).
 REORDERING_SCHEDULERS = ("growlocal", "funnel+gl")
 
 
@@ -147,12 +152,16 @@ def _serial_cycles(
     """Serial execution cycles, cached per (instance, machine): pricing
     the full-matrix cache model dominates the lowering, so the simulated
     number itself is memoized (``MachineModel`` is frozen, hence a valid
-    key component) and shared by every scheduler in a suite."""
+    key component) and shared by every scheduler in a suite.
+
+    The serial plan is fetched on *every* call, not only when the cycles
+    miss: the touch keeps the suite's most-reused entry at the
+    most-recently-used end of a bounded cache, so LRU eviction spares it.
+    """
+    plan = _serial_plan(inst, cache)
     return cache.get_or_build(
         (inst.name, "__serial_cycles__", machine),
-        lambda: simulate_serial(
-            inst.lower, machine, plan=_serial_plan(inst, cache)
-        ),
+        lambda: simulate_serial(inst.lower, machine, plan=plan),
     )
 
 
@@ -185,7 +194,15 @@ def run_instance(
     cores = machine.n_cores if n_cores is None else min(n_cores,
                                                         machine.n_cores)
     if reorder is None:
-        reorder = any(tag in scheduler.name for tag in REORDERING_SCHEDULERS)
+        # the scheduler-declared flag decides; exact-name membership is
+        # only a fallback for duck-typed schedulers without the attribute
+        # (substring matching would misfire on any scheduler whose name
+        # merely *contains* "growlocal")
+        reorder = getattr(
+            scheduler,
+            "reorders_by_default",
+            scheduler.name in REORDERING_SCHEDULERS,
+        )
 
     cache = plan_cache if plan_cache is not None else PlanCache()
     entry = cache.get_or_build(

@@ -95,14 +95,16 @@ def row_costs_for_sequence(
     stream, counts = x_access_stream(lower, seq)
     line_ids = stream // machine.line_elems
     misses = reuse_distance_misses(line_ids, machine.cache_lines)
-    # per-row x-miss counts via segment sums
+    # per-row x-miss counts via a bounds-safe segment sum: prefix sums
+    # differenced at the segment bounds.  (``np.add.reduceat`` would raise
+    # IndexError when trailing rows have zero stored entries — bounds equal
+    # to the stream length — reachable through ``check_diagonal=False``
+    # plans on matrices with missing diagonals.)
     bounds = np.zeros(seq.size + 1, dtype=np.int64)
     np.cumsum(counts, out=bounds[1:])
-    x_miss = np.add.reduceat(
-        misses.astype(np.float64), bounds[:-1]
-    ) if stream.size else np.zeros(seq.size)
-    # guard: reduceat repeats values when consecutive bounds are equal
-    x_miss[counts == 0] = 0.0
+    prefix = np.zeros(stream.size + 1)
+    np.cumsum(misses, out=prefix[1:])
+    x_miss = prefix[bounds[1:]] - prefix[bounds[:-1]]
 
     # matrix streaming lines: contiguous rows share the stream
     mat_lines = counts / machine.line_elems

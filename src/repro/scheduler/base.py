@@ -28,10 +28,18 @@ class Scheduler(ABC):
         simulator) or ``"async"`` for point-to-point-synchronized schedules
         (executed by the event-driven simulator) — SpMP is the only
         ``"async"`` scheduler, matching Section 1 of the paper.
+    reorders_by_default:
+        Whether the experiment harness applies the Section 5 locality
+        reordering to this scheduler when the caller does not decide —
+        the paper reorders for its own algorithms (GrowLocal, Funnel+GL)
+        but not for the baselines.  Declared here, per scheduler, so the
+        default never depends on what a scheduler happens to be *named*;
+        wrapper schedulers propagate their inner scheduler's flag.
     """
 
     name: str = "abstract"
     execution_mode: str = "bsp"
+    reorders_by_default: bool = False
 
     @abstractmethod
     def schedule(self, dag: DAG, n_cores: int) -> Schedule:

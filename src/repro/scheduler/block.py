@@ -77,6 +77,10 @@ class BlockScheduler(Scheduler):
         self.inner = inner
         self.n_blocks = int(n_blocks)
         self.name = f"block{n_blocks}+{inner.name}"
+        # the wrapper inherits the experiment-harness reordering default
+        # of the scheduler it wraps (a block-parallel GrowLocal is still
+        # GrowLocal as far as Section 5 reordering is concerned)
+        self.reorders_by_default = inner.reorders_by_default
         self.last_block_times: list[float] = []
 
     def schedule(self, dag: DAG, n_cores: int) -> Schedule:

@@ -42,6 +42,7 @@ class FunnelGrowLocalScheduler(Scheduler):
     """
 
     name = "funnel+gl"
+    reorders_by_default = True
 
     def __init__(
         self,

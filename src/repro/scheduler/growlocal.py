@@ -96,6 +96,7 @@ class GrowLocalScheduler(Scheduler):
     """
 
     name = "growlocal"
+    reorders_by_default = True
 
     def __init__(
         self,

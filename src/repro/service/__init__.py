@@ -1,0 +1,22 @@
+"""Concurrent solve service: batched SpTRSV as a long-running system.
+
+The paper's amortization argument (Table 7.6, Eq. 7.1) is that schedule
+compilation pays for itself over *many* solves.  This package supplies
+the missing serving layer over :mod:`repro.exec`: a
+:class:`SolveService` holds registered ``(matrix, schedule)`` systems —
+each lowered once into an :class:`~repro.exec.plan.ExecutionPlan`
+through a shared thread-safe :class:`~repro.exec.PlanCache` — and
+serves keyed solve requests against them.  Concurrent single-RHS
+requests for the same system are coalesced into SpTRSM micro-batches
+executed through :meth:`~repro.exec.backends.ExecutionBackend
+.solve_block`, so ``k`` queued requests cost one vectorized sweep over
+the plan's dependency layers instead of ``k``.
+
+Per-system latency / throughput / batch-size statistics are exposed via
+:meth:`SolveService.stats`.
+"""
+
+from repro.service.service import SolveService
+from repro.service.stats import SystemStats
+
+__all__ = ["SolveService", "SystemStats"]

@@ -1,0 +1,413 @@
+"""The :class:`SolveService`: keyed, coalescing, concurrent SpTRSV serving.
+
+Architecture
+------------
+Clients call :meth:`SolveService.submit` (or the blocking
+:meth:`~SolveService.solve`) with a system key and a single right-hand
+side; they get a :class:`concurrent.futures.Future` back.  A dedicated
+worker thread drains the request queue: the head request plus every
+*consecutive* queued request for the same system (up to ``max_batch``)
+becomes one micro-batch, column-stacked into an ``(n, k)`` block and
+executed with a single :meth:`~repro.exec.backends.ExecutionBackend
+.solve_block` call — one vectorized sweep over the plan's dependency
+layers for all ``k`` clients.  Head-run coalescing keeps completion
+order identical to submission order, so serving is deterministic.
+
+Numerically the batched path is *bit-equal* to solving each request
+alone: the block kernel accumulates each column's contributions in the
+same order as the single-RHS kernel (the oracle test pins this down).
+
+Plans are compiled once per registered system through a shared
+thread-safe :class:`~repro.exec.PlanCache` — pass the same cache to
+several services (or to the experiment runner) to share lowering work
+across consumers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MatrixFormatError
+from repro.exec import (
+    ExecutionBackend,
+    ExecutionPlan,
+    PlanCache,
+    compile_plan,
+    get_backend,
+)
+from repro.matrix.csr import CSRMatrix
+from repro.scheduler.schedule import Schedule
+from repro.service.stats import SystemStats
+
+__all__ = ["SolveService"]
+
+
+class _System:
+    """A registered solve target: one compiled plan plus live counters."""
+
+    __slots__ = (
+        "key",
+        "plan",
+        "n_requests",
+        "n_batches",
+        "max_batch_size",
+        "total_latency_seconds",
+        "total_solve_seconds",
+    )
+
+    def __init__(self, key: object, plan: ExecutionPlan) -> None:
+        self.key = key
+        self.plan = plan
+        self.n_requests = 0
+        self.n_batches = 0
+        self.max_batch_size = 0
+        self.total_latency_seconds = 0.0
+        self.total_solve_seconds = 0.0
+
+    def snapshot(self) -> SystemStats:
+        return SystemStats(
+            key=self.key,
+            n_rows=self.plan.n,
+            n_requests=self.n_requests,
+            n_batches=self.n_batches,
+            max_batch_size=self.max_batch_size,
+            total_latency_seconds=self.total_latency_seconds,
+            total_solve_seconds=self.total_solve_seconds,
+        )
+
+
+class _Request:
+    __slots__ = ("system", "b", "future", "enqueued_at")
+
+    def __init__(
+        self, system: _System, b: np.ndarray, future: Future, enqueued_at: float
+    ) -> None:
+        self.system = system
+        self.b = b
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class SolveService:
+    """Serve keyed triangular-solve requests with micro-batching.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend name or instance (default: auto-selected, see
+        :func:`repro.exec.get_backend`).
+    max_batch:
+        Largest micro-batch the worker coalesces into one
+        ``solve_block`` call.
+    plan_cache:
+        Shared thread-safe :class:`~repro.exec.PlanCache` used to lower
+        registered systems; a private cache is created when omitted.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.matrix.generators import erdos_renyi_lower
+    >>> from repro.service import SolveService
+    >>> L = erdos_renyi_lower(100, 0.05, seed=0)
+    >>> with SolveService() as svc:
+    ...     _ = svc.register("sys", L)
+    ...     x = svc.solve("sys", np.ones(100))
+    >>> x.shape
+    (100,)
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str | None = None,
+        max_batch: int = 64,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        self._backend = get_backend(backend)
+        self._max_batch = int(max_batch)
+        self._cache = plan_cache if plan_cache is not None else PlanCache()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._systems: dict[object, _System] = {}
+        self._queue: deque[_Request] = deque()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-solve-service", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        key: object,
+        matrix: CSRMatrix,
+        schedule: Schedule | None = None,
+        *,
+        direction: str = "forward",
+        plan: ExecutionPlan | None = None,
+    ) -> ExecutionPlan:
+        """Register ``(matrix, schedule)`` as a solve target under ``key``.
+
+        The pair is lowered through the shared plan cache (cache key
+        ``("__service__", key, direction)``), so re-creating a service —
+        or running several — over the same cache compiles each system
+        once.  A cached plan is only reused when it was compiled for
+        *these* ``matrix``/``schedule`` objects; re-registering a key
+        with different inputs compiles fresh instead of silently serving
+        the stale plan.  Pass a precompiled ``plan`` to bypass the cache
+        (it is validated against ``matrix``).  Singular systems are
+        rejected here, at registration, never in the worker thread.
+        Returns the compiled plan.
+        """
+        if plan is not None:
+            plan.require_compatible(matrix.n, direction)
+            if plan.matrix is not matrix:
+                raise MatrixFormatError(
+                    "precompiled plan was built from a different matrix "
+                    "than the one being registered"
+                )
+        else:
+            cache_key = ("__service__", key, direction)
+            plan = self._cache.get_or_build(
+                cache_key,
+                lambda: compile_plan(matrix, schedule, direction=direction),
+            )
+            if plan.matrix is not matrix or plan.schedule is not schedule:
+                # cache hit for a different system under the same key:
+                # compile fresh and replace the stale entry, so repeat
+                # registrations of the new system hit again
+                plan = self._cache.put(
+                    cache_key,
+                    compile_plan(matrix, schedule, direction=direction),
+                )
+        plan.require_solvable()
+        with self._cond:
+            if self._closed:
+                raise ConfigurationError("service is closed")
+            self._systems[key] = _System(key, plan)
+        return plan
+
+    def systems(self) -> list[object]:
+        """Keys of all registered systems."""
+        with self._cond:
+            return list(self._systems)
+
+    # ------------------------------------------------------------------
+    # request paths
+    # ------------------------------------------------------------------
+    def submit(self, key: object, b: np.ndarray) -> "Future[np.ndarray]":
+        """Enqueue one right-hand side; returns a future for ``x``."""
+        return self.submit_many(key, [b])[0]
+
+    def submit_many(
+        self, key: object, bs: list[np.ndarray] | np.ndarray
+    ) -> "list[Future[np.ndarray]]":
+        """Enqueue several right-hand sides under one lock acquisition.
+
+        All requests enter the queue back-to-back, so the worker can
+        coalesce them into ``max_batch``-sized micro-batches even while
+        other clients interleave their own submissions.
+        """
+        system, checked = None, []
+        with self._cond:
+            if self._closed:
+                raise ConfigurationError("service is closed")
+            system = self._require_system(key)
+        for b in bs:
+            try:
+                checked.append(
+                    ExecutionBackend._check_rhs(system.plan, b)
+                )
+            except MatrixFormatError as exc:
+                raise MatrixFormatError(f"system {key!r}: {exc}") from None
+        futures: list[Future] = []
+        now = time.perf_counter()
+        with self._cond:
+            if self._closed:
+                raise ConfigurationError("service is closed")
+            for b in checked:
+                fut: Future = Future()
+                self._queue.append(_Request(system, b, fut, now))
+                futures.append(fut)
+            self._cond.notify()
+        return futures
+
+    def solve(self, key: object, b: np.ndarray) -> np.ndarray:
+        """Blocking convenience wrapper: ``submit(key, b).result()``."""
+        return self.submit(key, b).result()
+
+    def solve_block(self, key: object, b_block: np.ndarray) -> np.ndarray:
+        """Synchronous SpTRSM against a registered system.
+
+        Bypasses the queue (the caller already has its batch) but is
+        recorded in the same per-system statistics as one batch of
+        ``k`` requests.
+        """
+        with self._cond:
+            if self._closed:
+                raise ConfigurationError("service is closed")
+            system = self._require_system(key)
+        try:
+            b_block = ExecutionBackend._check_rhs_block(system.plan,
+                                                        b_block)
+        except MatrixFormatError as exc:
+            raise MatrixFormatError(f"system {key!r}: {exc}") from None
+        t0 = time.perf_counter()
+        x_block = self._backend.solve_block(system.plan, b_block)
+        elapsed = time.perf_counter() - t0
+        k = b_block.shape[1]
+        with self._cond:
+            self._record(system, k, elapsed, elapsed * k)
+        return x_block
+
+    def _require_system(self, key: object) -> _System:
+        try:
+            return self._systems[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown system {key!r}; registered: "
+                f"{sorted(map(repr, self._systems))}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self, key: object | None = None):
+        """Stats snapshot: one :class:`SystemStats` for ``key``, or a
+        ``{key: SystemStats}`` dict over all registered systems."""
+        with self._cond:
+            if key is not None:
+                return self._require_system(key).snapshot()
+            return {k: s.snapshot() for k, s in self._systems.items()}
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The (shared) plan cache lowering registered systems."""
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting requests; the worker drains the queue first.
+
+        Idempotent.  With ``wait`` (default) blocks until every pending
+        future is resolved and the worker has exited.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if wait:
+            self._worker.join()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # worker
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:  # closed and drained
+                    return
+                batch = self._take_batch_locked()
+            self._execute(batch)
+
+    def _take_batch_locked(self) -> list[_Request]:
+        """Pop the head request plus consecutive same-system followers.
+
+        Coalescing only the head *run* (never reaching past a request
+        for a different system) keeps completion order identical to
+        submission order.
+        """
+        first = self._queue.popleft()
+        batch = [first]
+        while (
+            self._queue
+            and len(batch) < self._max_batch
+            and self._queue[0].system is first.system
+        ):
+            batch.append(self._queue.popleft())
+        return batch
+
+    def _execute(self, batch: list[_Request]) -> None:
+        # transition every future to RUNNING; drop the ones a client
+        # cancelled while queued.  After this point cancel() can no
+        # longer win, so set_result/set_exception below cannot raise
+        # InvalidStateError (which would kill the worker thread).
+        batch = [
+            r for r in batch if r.future.set_running_or_notify_cancel()
+        ]
+        if not batch:
+            return
+        system = batch[0].system
+        t0 = time.perf_counter()
+        try:
+            if len(batch) == 1:
+                results = [self._backend.solve(system.plan, batch[0].b)]
+            else:
+                b_block = np.stack([r.b for r in batch], axis=1)
+                x_block = self._backend.solve_block(system.plan, b_block)
+                results = [
+                    np.ascontiguousarray(x_block[:, j])
+                    for j in range(len(batch))
+                ]
+        except Exception as exc:  # propagate to every waiting client
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        # record stats *before* resolving the futures: a client woken by
+        # result() must observe counters that include its own request
+        # (latency is therefore measured to just before resolution)
+        with self._cond:
+            self._record(
+                system,
+                len(batch),
+                done - t0,
+                sum(done - r.enqueued_at for r in batch),
+            )
+        for request, x in zip(batch, results):
+            request.future.set_result(x)
+
+    def _record(
+        self,
+        system: _System,
+        batch_size: int,
+        solve_seconds: float,
+        latency_seconds: float,
+    ) -> None:
+        """Update one system's counters; caller holds the lock."""
+        system.n_requests += batch_size
+        system.n_batches += 1
+        system.max_batch_size = max(system.max_batch_size, batch_size)
+        system.total_solve_seconds += solve_seconds
+        system.total_latency_seconds += latency_seconds
+
+    def __repr__(self) -> str:
+        with self._cond:
+            return (
+                f"SolveService(systems={len(self._systems)}, "
+                f"pending={len(self._queue)}, backend="
+                f"{self._backend.name!r}, closed={self._closed})"
+            )

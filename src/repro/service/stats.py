@@ -1,0 +1,84 @@
+"""Per-system serving statistics of a :class:`~repro.service.SolveService`.
+
+A :class:`SystemStats` is an immutable snapshot taken under the service
+lock: counters never tear, and derived rates are computed on the frozen
+values.  Latency is measured from enqueue to future resolution (what a
+client observes); solve time is the kernel-only busy time, so
+``throughput_rps`` is the sustained rate the execution backend achieves
+for this system when saturated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SystemStats"]
+
+
+@dataclass(frozen=True)
+class SystemStats:
+    """Snapshot of one registered system's serving counters.
+
+    Attributes
+    ----------
+    key:
+        The system's registration key.
+    n_rows:
+        Problem size of the registered system.
+    n_requests:
+        Solve requests completed (each RHS counts once, also inside a
+        batch).
+    n_batches:
+        Backend invocations: micro-batched SpTRSM calls plus single-RHS
+        solves.
+    max_batch_size:
+        Largest micro-batch executed so far.
+    total_latency_seconds:
+        Summed enqueue-to-result latency over all completed requests.
+    total_solve_seconds:
+        Summed backend busy time over all batches.
+    """
+
+    key: object
+    n_rows: int
+    n_requests: int = 0
+    n_batches: int = 0
+    max_batch_size: int = 0
+    total_latency_seconds: float = 0.0
+    total_solve_seconds: float = 0.0
+
+    @property
+    def avg_batch_size(self) -> float:
+        """Mean requests per backend invocation (1.0 = no coalescing)."""
+        return self.n_requests / self.n_batches if self.n_batches else 0.0
+
+    @property
+    def avg_latency_seconds(self) -> float:
+        """Mean enqueue-to-result latency per request."""
+        return (
+            self.total_latency_seconds / self.n_requests
+            if self.n_requests
+            else 0.0
+        )
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of backend busy time."""
+        return (
+            self.n_requests / self.total_solve_seconds
+            if self.total_solve_seconds > 0.0
+            else 0.0
+        )
+
+    def as_row(self) -> dict[str, object]:
+        """Plain-dict view (counters plus derived rates) for tables."""
+        return {
+            "key": self.key,
+            "n_rows": self.n_rows,
+            "requests": self.n_requests,
+            "batches": self.n_batches,
+            "avg_batch": self.avg_batch_size,
+            "max_batch": self.max_batch_size,
+            "avg_latency_s": self.avg_latency_seconds,
+            "throughput_rps": self.throughput_rps,
+        }

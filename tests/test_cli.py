@@ -82,6 +82,30 @@ def test_datasets_narrow_band(capsys):
     assert "NB_10k" in capsys.readouterr().out
 
 
+def test_suite_sharded(capsys):
+    assert main(["suite", "--dataset", "erdos_renyi", "--limit", "2",
+                 "--schedulers", "growlocal,hdagg", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "growlocal" in out and "hdagg" in out
+    assert "geomean speed-up" in out
+    assert "plan cache" in out
+
+
+def test_suite_handles_never_amortizing_scheduler(capsys):
+    """Regression: an all-inf amortization column (parallel never beats
+    serial, e.g. hdagg on narrow-band) must render as '-', not error."""
+    assert main(["suite", "--dataset", "narrow_band", "--limit", "1",
+                 "--schedulers", "hdagg"]) == 0
+    out = capsys.readouterr().out
+    assert "hdagg" in out
+
+
+def test_suite_rejects_unknown_scheduler(capsys):
+    assert main(["suite", "--dataset", "erdos_renyi", "--limit", "1",
+                 "--schedulers", "nope"]) == 2
+    assert "unknown schedulers" in capsys.readouterr().err
+
+
 def test_missing_file_is_error(capsys):
     assert main(["schedule", "--matrix", "/nonexistent.mtx"]) == 2
 

@@ -40,6 +40,12 @@ def test_block_scheduling():
     assert "sched speed-up" in out
 
 
+def test_solve_service():
+    out = _run("solve_service.py")
+    assert "bit-equal to sequential solves" in out
+    assert "micro-batches" in out
+
+
 def test_custom_scheduler():
     out = _run("custom_scheduler.py")
     assert "levelpair" in out

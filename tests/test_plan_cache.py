@@ -53,6 +53,30 @@ class TestPlanCache:
         assert "a" not in cache
         assert "b" in cache and "c" in cache
 
+    def test_lru_hit_protects_entry_from_eviction(self):
+        """Regression: eviction must be LRU, not FIFO — a hit moves the
+        entry to the most-recently-used end, so the oldest-*inserted* but
+        recently-*used* entry survives and the stale one goes."""
+        cache = PlanCache(max_entries=2)
+        cache.get_or_build("hot", lambda: 1)
+        cache.get_or_build("cold", lambda: 2)
+        cache.get_or_build("hot", lambda: 0)   # hit: hot becomes MRU
+        cache.get_or_build("new", lambda: 3)   # evicts LRU = cold
+        assert "hot" in cache
+        assert "cold" not in cache
+        assert "new" in cache
+
+    def test_put_replaces_and_counts_nothing(self):
+        cache = PlanCache(max_entries=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        assert cache.put("a", 99) == 99
+        assert (cache.hits, cache.misses) == (0, 2)
+        assert cache.get_or_build("a", lambda: 0) == 99
+        # put moved "a" to MRU, so the next insert evicts "b"
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache
+
     def test_repr(self):
         assert "PlanCache" in repr(PlanCache())
 
@@ -74,9 +98,10 @@ class TestRunnerIntegration:
         # one miss per triple + one serial plan and one serial-cycles
         # entry per instance
         assert cache.misses == n_inst * n_sched + 2 * n_inst
-        # the serial simulation is reused by every scheduler after the
-        # first one on each instance
-        assert cache.hits == n_inst * (n_sched - 1)
+        # the serial plan AND the serial simulation are reused by every
+        # scheduler after the first one on each instance (the plan is
+        # touched on every run so LRU eviction keeps it resident)
+        assert cache.hits == 2 * n_inst * (n_sched - 1)
         # counters surface on the results; the last result carries totals
         last = results["spmp"][-1]
         assert last.plan_cache_misses == cache.misses
@@ -144,6 +169,51 @@ class TestRunnerIntegration:
         r = run_instance(instances[0], WavefrontScheduler(), MACHINE)
         row = r.as_row()
         assert "plan_cache_hits" in row and "plan_cache_misses" in row
+
+
+class TestBoundedSuite:
+    def test_serial_plan_survives_bounded_suite(self, instances):
+        """Regression for the FIFO eviction bug: each instance's
+        ``__serial__`` plan is inserted before every scheduler triple and
+        hit by all of them, so a bounded cache must keep it (pure FIFO
+        evicted exactly this hottest entry first)."""
+        inst = instances[0]
+        cache = PlanCache(max_entries=3)
+        from repro.scheduler import HDaggScheduler
+
+        schedulers = {
+            "gl": GrowLocalScheduler(),
+            "wf": WavefrontScheduler(),
+            "spmp": SpMPScheduler(),
+            "hd": HDaggScheduler(),
+        }
+        results = run_suite([inst], schedulers, MACHINE, plan_cache=cache)
+        serial_key = (inst.name, "__serial__", 1, False)
+        cycles_key = (inst.name, "__serial_cycles__", MACHINE)
+        assert serial_key in cache
+        assert cycles_key in cache
+        assert len(cache) <= 3
+        # the discriminating assertion: under LRU the serial plan and
+        # serial cycles are compiled exactly once — one miss per triple
+        # plus one each for the two serial artifacts.  FIFO evicted the
+        # serial entries mid-suite and silently recompiled them.
+        assert cache.misses == len(schedulers) + 2
+        # the shared serial denominator means every scheduler reports the
+        # same serial cycles even under eviction pressure
+        serial = {rows[0].serial_cycles for rows in results.values()}
+        assert len(serial) == 1
+
+    def test_bounded_suite_matches_unbounded(self, instances):
+        schedulers = {"gl": GrowLocalScheduler(),
+                      "wf": WavefrontScheduler()}
+        bounded = run_suite(instances, schedulers, MACHINE,
+                            plan_cache=PlanCache(max_entries=2))
+        unbounded = run_suite(instances, schedulers, MACHINE,
+                              plan_cache=PlanCache())
+        for name in schedulers:
+            for a, b in zip(bounded[name], unbounded[name]):
+                assert a.speedup == b.speedup
+                assert a.parallel_cycles == b.parallel_cycles
 
 
 class TestSchedulingTimeScope:

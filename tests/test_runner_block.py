@@ -24,11 +24,35 @@ def inst():
 
 def test_block_scheduler_gets_reordering_by_default(inst):
     """The paper applies reordering to its own algorithms; the block
-    wrapper around GrowLocal inherits that default via its name."""
-    r = run_instance(inst, BlockScheduler(GrowLocalScheduler(), 4),
-                     MACHINE)
+    wrapper around GrowLocal inherits that default via the declared
+    ``reorders_by_default`` flag of its inner scheduler."""
+    block = BlockScheduler(GrowLocalScheduler(), 4)
+    assert block.reorders_by_default
+    r = run_instance(inst, block, MACHINE)
     assert r.scheduler == "block4+growlocal"
     assert r.reordered
+
+
+def test_reorder_default_ignores_decoy_names(inst):
+    """Regression: the reorder default used to substring-match scheduler
+    names, so any scheduler whose name merely *contains* "growlocal"
+    silently inherited the paper's reordering.  The default must come
+    from the declared flag (exact-name fallback only)."""
+    from repro.scheduler import WavefrontScheduler
+
+    class DecoyScheduler(WavefrontScheduler):
+        name = "mygrowlocal-variant"  # substring decoy, flag stays False
+
+    r = run_instance(inst, DecoyScheduler(), MACHINE)
+    assert r.scheduler == "mygrowlocal-variant"
+    assert not r.reordered
+
+    class OptInScheduler(WavefrontScheduler):
+        name = "custom-opt-in"
+        reorders_by_default = True
+
+    r2 = run_instance(inst, OptInScheduler(), MACHINE)
+    assert r2.reordered
 
 
 def test_block_scheduler_speedup_reasonable(inst):

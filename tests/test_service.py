@@ -1,0 +1,321 @@
+"""Tests for the concurrent solve service and the thread-safe LRU cache.
+
+Covers the concurrency layer's contracts: the shared
+:class:`~repro.exec.PlanCache` survives multi-threaded hammering with
+consistent accounting, and the :class:`~repro.service.SolveService`
+returns batched results bit-equal to sequential single-RHS solves
+whatever the interleaving.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MatrixFormatError
+from repro.exec import PlanCache, compile_plan, get_backend
+from repro.graph.dag import DAG
+from repro.matrix.generators import erdos_renyi_lower, narrow_band_lower
+from repro.scheduler import GrowLocalScheduler
+from repro.service import SolveService, SystemStats
+
+
+@pytest.fixture(scope="module")
+def lower():
+    return narrow_band_lower(400, 0.08, 10.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def schedule(lower):
+    return GrowLocalScheduler().schedule(
+        DAG.from_lower_triangular(lower), 4
+    )
+
+
+class TestPlanCacheThreadSafety:
+    def test_hammer_shared_lru_cache(self):
+        """8 threads x 200 lookups over 40 keys on a 16-entry LRU: no
+        exception, no lost update, consistent counters, bound held."""
+        cache = PlanCache(max_entries=16)
+        errors = []
+        barrier = threading.Barrier(8)
+        calls_per_thread = 200
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            try:
+                for _ in range(calls_per_thread):
+                    key = int(rng.integers(0, 40))
+                    value = cache.get_or_build(key, lambda k=key: k * 10)
+                    assert value == key * 10
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        # every lookup was counted exactly once as a hit or a miss
+        assert cache.hits + cache.misses == 8 * calls_per_thread
+
+    def test_racing_builders_converge_to_one_value(self):
+        """When two threads race to build the same key, the first
+        insertion wins and both observe the same cached object."""
+        cache = PlanCache()
+        barrier = threading.Barrier(4)
+        seen = []
+
+        def worker():
+            barrier.wait()
+            seen.append(cache.get_or_build("k", lambda: object()))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        canonical = cache.get_or_build("k", lambda: object())
+        assert all(v is canonical for v in seen)
+
+
+class TestSolveServiceOracle:
+    def test_batched_results_bit_equal_sequential(self, lower, schedule):
+        """The acceptance criterion: whatever the coalescing did, each
+        client's answer is bit-equal to solving its RHS alone."""
+        plan = compile_plan(lower, schedule)
+        backend = get_backend()
+        rng = np.random.default_rng(1)
+        bs = [rng.standard_normal(lower.n) for _ in range(24)]
+        with SolveService(max_batch=8) as service:
+            service.register("sys", lower, schedule)
+            futures = service.submit_many("sys", bs)
+            xs = [f.result(timeout=30) for f in futures]
+        for x, b in zip(xs, bs):
+            np.testing.assert_array_equal(x, backend.solve(plan, b))
+
+    def test_single_submit_and_blocking_solve(self, lower):
+        with SolveService() as service:
+            service.register("s", lower)
+            b = np.ones(lower.n)
+            x1 = service.submit("s", b).result(timeout=30)
+            x2 = service.solve("s", b)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(
+            x1, get_backend().solve(compile_plan(lower), b)
+        )
+
+    def test_concurrent_clients_many_systems(self, lower, schedule):
+        """Interleaved submissions from several threads against several
+        systems: every result still matches its own oracle."""
+        other = erdos_renyi_lower(300, 0.02, seed=9)
+        plans = {
+            "band": compile_plan(lower, schedule),
+            "er": compile_plan(other),
+        }
+        mats = {"band": lower, "er": other}
+        backend = get_backend()
+        failures = []
+        with SolveService(max_batch=16) as service:
+            service.register("band", lower, schedule)
+            service.register("er", other)
+            barrier = threading.Barrier(6)
+
+            def client(seed):
+                rng = np.random.default_rng(seed)
+                key = "band" if seed % 2 else "er"
+                bs = [rng.standard_normal(mats[key].n) for _ in range(10)]
+                barrier.wait()
+                futures = service.submit_many(key, bs)
+                for b, fut in zip(bs, futures):
+                    x = fut.result(timeout=30)
+                    if not np.array_equal(
+                        x, backend.solve(plans[key], b)
+                    ):  # pragma: no cover - failure path
+                        failures.append((key, seed))
+
+            threads = [
+                threading.Thread(target=client, args=(seed,))
+                for seed in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not failures
+
+    def test_solve_block_direct_path(self, lower, schedule):
+        rng = np.random.default_rng(2)
+        b_block = rng.standard_normal((lower.n, 5))
+        with SolveService() as service:
+            service.register("s", lower, schedule)
+            x_block = service.solve_block("s", b_block)
+            stats = service.stats("s")
+        np.testing.assert_array_equal(
+            x_block,
+            get_backend().solve_block(compile_plan(lower, schedule),
+                                      b_block),
+        )
+        assert stats.n_requests == 5
+        assert stats.n_batches == 1
+        assert stats.max_batch_size == 5
+
+
+class TestSolveServiceBehavior:
+    def test_stats_track_coalescing(self, lower):
+        bs = [np.ones(lower.n) for _ in range(12)]
+        with SolveService(max_batch=4) as service:
+            service.register("s", lower)
+            for f in service.submit_many("s", bs):
+                f.result(timeout=30)
+            stats = service.stats("s")
+        assert isinstance(stats, SystemStats)
+        assert stats.n_requests == 12
+        # head-run coalescing with max_batch=4 gives batches of <= 4;
+        # at least one multi-request batch must have formed
+        assert stats.max_batch_size <= 4
+        assert stats.n_batches < 12
+        assert stats.avg_batch_size > 1.0
+        assert stats.avg_latency_seconds > 0.0
+        assert stats.throughput_rps > 0.0
+        row = stats.as_row()
+        assert row["requests"] == 12
+
+    def test_stats_all_systems(self, lower):
+        with SolveService() as service:
+            service.register("a", lower)
+            service.register("b", lower)
+            service.solve("a", np.ones(lower.n))
+            all_stats = service.stats()
+        assert set(all_stats) == {"a", "b"}
+        assert all_stats["a"].n_requests == 1
+        assert all_stats["b"].n_requests == 0
+
+    def test_shared_plan_cache_compiles_once(self, lower):
+        cache = PlanCache()
+        with SolveService(plan_cache=cache) as s1:
+            s1.register("sys", lower)
+        with SolveService(plan_cache=cache) as s2:
+            s2.register("sys", lower)
+            assert cache.hits >= 1  # second registration reused the plan
+            assert s2.plan_cache is cache
+
+    def test_unknown_system_raises(self, lower):
+        with SolveService() as service:
+            with pytest.raises(ConfigurationError):
+                service.submit("nope", np.ones(4))
+
+    def test_wrong_rhs_shape_raises(self, lower):
+        with SolveService() as service:
+            service.register("s", lower)
+            with pytest.raises(MatrixFormatError):
+                service.submit("s", np.ones(lower.n - 1))
+
+    def test_singular_system_rejected_at_registration(self):
+        singular = erdos_renyi_lower(50, 0.05, seed=1)
+        data = singular.data.copy()
+        data[singular.indptr[1:] - 1] = 0.0  # zero every diagonal
+        from repro.errors import SingularMatrixError
+        from repro.matrix.csr import CSRMatrix
+
+        bad = CSRMatrix(singular.n, singular.indptr, singular.indices,
+                        data)
+        with SolveService() as service:
+            with pytest.raises(SingularMatrixError):
+                service.register("bad", bad)
+
+    def test_closed_service_rejects_submissions(self, lower):
+        service = SolveService()
+        service.register("s", lower)
+        service.close()
+        assert service.closed
+        with pytest.raises(ConfigurationError):
+            service.submit("s", np.ones(lower.n))
+        service.close()  # idempotent
+
+    def test_close_drains_pending_requests(self, lower):
+        service = SolveService(max_batch=4)
+        service.register("s", lower)
+        futures = service.submit_many(
+            "s", [np.ones(lower.n) for _ in range(16)]
+        )
+        service.close()  # waits for the drain
+        assert all(f.done() for f in futures)
+        assert all(f.exception() is None for f in futures)
+
+    def test_max_batch_validated(self):
+        with pytest.raises(ConfigurationError):
+            SolveService(max_batch=0)
+
+    def test_cancelled_future_does_not_kill_worker(self, lower):
+        """A client cancelling a queued future must not crash the worker
+        thread or block the rest of the batch."""
+        with SolveService(max_batch=4) as service:
+            service.register("s", lower)
+            bs = [np.ones(lower.n) for _ in range(8)]
+            futures = service.submit_many("s", bs)
+            cancelled = futures[0].cancel()  # may race with the worker
+            survivors = [f for f, c in zip(futures,
+                                           [cancelled] + [False] * 7)
+                         if not c]
+            results = [f.result(timeout=30) for f in survivors]
+            assert len(results) == 8 - int(cancelled)
+            # the service must still be operational afterwards
+            x = service.solve("s", np.ones(lower.n))
+            assert x.shape == (lower.n,)
+
+    def test_reregistering_key_with_new_matrix_replaces_plan(self):
+        """Regression: the plan cache is keyed by (key, direction), so
+        re-registering a key with a *different* matrix must not serve
+        the stale cached plan."""
+        a = erdos_renyi_lower(120, 0.05, seed=11)
+        bb = erdos_renyi_lower(120, 0.05, seed=12)  # same size, new system
+        cache = PlanCache()
+        backend = get_backend()
+        with SolveService(plan_cache=cache) as service:
+            service.register("sys", a)
+            x_a = service.solve("sys", np.ones(120))
+            service.register("sys", bb)
+            x_b = service.solve("sys", np.ones(120))
+        np.testing.assert_array_equal(
+            x_a, backend.solve(compile_plan(a), np.ones(120))
+        )
+        np.testing.assert_array_equal(
+            x_b, backend.solve(compile_plan(bb), np.ones(120))
+        )
+        assert not np.array_equal(x_a, x_b)
+        # the stale entry was replaced, so registering bb again is a hit
+        misses = cache.misses
+        with SolveService(plan_cache=cache) as service:
+            service.register("sys", bb)
+        assert cache.misses == misses
+
+    def test_register_rejects_foreign_precompiled_plan(self):
+        """A precompiled plan from a different (same-size) matrix must be
+        rejected, not silently served."""
+        a = erdos_renyi_lower(120, 0.05, seed=13)
+        other = erdos_renyi_lower(120, 0.05, seed=14)
+        with SolveService() as service:
+            with pytest.raises(MatrixFormatError):
+                service.register("sys", a, plan=compile_plan(other))
+
+    def test_register_with_precompiled_plan(self, lower, schedule):
+        plan = compile_plan(lower, schedule)
+        with SolveService() as service:
+            returned = service.register("s", lower, plan=plan)
+            assert returned is plan
+            x = service.solve("s", np.ones(lower.n))
+        np.testing.assert_array_equal(
+            x, get_backend().solve(plan, np.ones(lower.n))
+        )
+
+    def test_repr(self, lower):
+        with SolveService() as service:
+            service.register("s", lower)
+            assert "SolveService" in repr(service)
