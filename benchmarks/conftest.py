@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 import pytest
 
 from repro.experiments.datasets import DatasetInstance, build_dataset

@@ -15,7 +15,6 @@ the gap is smallest on Erdős–Rényi and largest on narrow-bandwidth
 matrices (where HDagg can fall below serial).
 """
 
-import pytest
 
 from benchmarks.conftest import MAIN_SCHEDULERS, dataset_speedups
 from repro.experiments.tables import format_table

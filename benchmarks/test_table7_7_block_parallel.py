@@ -19,7 +19,6 @@ near-linear fall in the amortization threshold.
 
 import math
 
-import numpy as np
 
 from repro.experiments.metrics import amortization_threshold
 from repro.experiments.tables import format_table

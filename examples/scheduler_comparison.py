@@ -12,7 +12,7 @@ deep DAGs).
 Run:  python examples/scheduler_comparison.py
 """
 
-from repro import DAG, get_machine
+from repro import get_machine
 from repro.experiments.datasets import DatasetInstance
 from repro.experiments.runner import run_instance
 from repro.experiments.tables import format_table

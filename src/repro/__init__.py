@@ -38,6 +38,9 @@ Subpackages
                      into SpTRSM micro-batches, per-system stats
 ``repro.experiments`` datasets, runner (sequential + process-sharded),
                      metrics, tables and figures
+``repro.tuner``      autotuner: per-matrix scheduler/backend selection
+                     (features -> cost-model prior -> measured racing),
+                     persisted tuning profiles, the "auto" scheduler
 """
 
 from repro.errors import (
@@ -73,6 +76,15 @@ from repro.scheduler import (
     make_scheduler,
 )
 from repro.service import SolveService
+from repro.tuner import (
+    AutoScheduler,
+    Autotuner,
+    TuningDecision,
+    TuningProfile,
+    extract_features,
+    load_profile,
+    save_profile,
+)
 from repro.solver import (
     backward_substitution,
     forward_substitution,
@@ -83,6 +95,8 @@ from repro.solver import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AutoScheduler",
+    "Autotuner",
     "BSPListScheduler",
     "BlockScheduler",
     "CSRMatrix",
@@ -105,16 +119,21 @@ __all__ = [
     "SingularMatrixError",
     "SolveService",
     "SpMPScheduler",
+    "TuningDecision",
+    "TuningProfile",
     "WavefrontScheduler",
     "__version__",
     "backward_substitution",
     "compile_plan",
+    "extract_features",
     "forward_substitution",
     "get_backend",
     "get_machine",
     "list_backends",
     "list_machines",
+    "load_profile",
     "make_scheduler",
+    "save_profile",
     "scheduled_sptrsv",
     "threaded_sptrsv",
 ]

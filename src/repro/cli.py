@@ -10,10 +10,17 @@ Exposes the library's main workflows without writing Python::
     python -m repro compare   --matrix L.mtx --cores 22
     python -m repro suite     --dataset narrow_band --workers 4 \
                               --schedulers growlocal,hdagg
+    python -m repro tune      --dataset narrow_band \
+                              --machine intel_xeon_6238t \
+                              --output profile.json
     python -m repro generate  --kind erdos_renyi --n 10000 --p 5e-4 \
                               --output L.mtx
     python -m repro datasets  --name suitesparse
     python -m repro machines
+
+``compare``, ``suite`` and ``tune`` accept ``--json`` for
+machine-readable output (consumed by CI smoke checks and scripting
+instead of scraping the tables).
 
 Matrices are read/written in Matrix Market format; schedules in the JSON
 format of :mod:`repro.scheduler.serialize`.
@@ -22,6 +29,8 @@ format of :mod:`repro.scheduler.serialize`.
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 
 import numpy as np
@@ -84,6 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", type=int, default=22)
     p.add_argument("--machine", default="intel_xeon_6238t",
                    choices=list_machines())
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of a table")
 
     p = sub.add_parser(
         "suite",
@@ -103,6 +114,43 @@ def build_parser() -> argparse.ArgumentParser:
                         "(1 = run in-process)")
     p.add_argument("--limit", type=int, default=None,
                    help="only the first K instances of the dataset")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of a table")
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune the scheduler per instance; write/read tuning "
+             "profiles",
+    )
+    p.add_argument("--dataset", default="narrow_band",
+                   help="dataset name (see 'repro datasets')")
+    p.add_argument("--machine", default="intel_xeon_6238t",
+                   choices=list_machines())
+    p.add_argument("--cores", type=int, default=None,
+                   help="cores to tune for (default: machine cores)")
+    p.add_argument("--schedulers", default=None,
+                   help="comma-separated candidate pool (default: "
+                        "growlocal,funnel+gl,hdagg,wavefront; the "
+                        "serial baseline is always ranked)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="only the first K instances of the dataset")
+    p.add_argument("--expected-solves", type=float, default=1000.0,
+                   help="solves expected to reuse each decision "
+                        "(weights scheduling cost, Eq. 7.1)")
+    p.add_argument("--budget-s", type=float, default=0.25,
+                   help="measured racing budget per instance, seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mode", choices=["measured", "simulated"],
+                   default="measured",
+                   help="race on wall-clock micro-runs (measured) or "
+                        "deterministic cost-model seconds (simulated)")
+    p.add_argument("--profile",
+                   help="warm-start from this profile JSON (entries "
+                        "with matching features skip racing)")
+    p.add_argument("--output",
+                   help="write the updated profile JSON here")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of a table")
 
     p = sub.add_parser("generate", help="generate a test matrix")
     p.add_argument("--kind", required=True,
@@ -178,6 +226,18 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _json_sanitize(value):
+    """Strict-JSON view of a result payload: non-finite floats (an
+    infinite amortization) become null, containers recurse."""
+    if isinstance(value, dict):
+        return {k: _json_sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_sanitize(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
 def _cmd_compare(args) -> int:
     from repro.experiments.datasets import DatasetInstance
     from repro.experiments.runner import run_instance
@@ -187,13 +247,27 @@ def _cmd_compare(args) -> int:
     inst = DatasetInstance(args.matrix, lower)
     machine = get_machine(args.machine)
     rows = []
+    results = []
     for name in available_schedulers():
-        if name == "serial":
+        if name in ("serial", "auto"):
+            # serial is the speed-up baseline; "auto" delegates to the
+            # schedulers already in this comparison
             continue
         r = run_instance(inst, make_scheduler(name), machine,
                          n_cores=args.cores)
+        results.append(r)
         rows.append([name, r.n_supersteps, f"{r.speedup:.2f}x",
                      f"{r.scheduling_seconds:.3f}s"])
+    if args.json:
+        print(json.dumps(_json_sanitize({
+            "matrix": args.matrix,
+            "machine": machine.name,
+            "n": inst.n,
+            "nnz": inst.nnz,
+            "avg_wavefront": inst.avg_wavefront,
+            "results": [r.as_row() for r in results],
+        }), indent=2))
+        return 0
     print(format_table(
         ["scheduler", "supersteps", "speed-up", "sched time"], rows,
         title=f"{args.matrix}: n={inst.n}, nnz={inst.nnz}, "
@@ -232,6 +306,20 @@ def _cmd_suite(args) -> int:
         )
 
     geo = geomean_speedups(results)
+    if args.json:
+        print(json.dumps(_json_sanitize({
+            "dataset": args.dataset,
+            "machine": machine.name,
+            "workers": args.workers,
+            "n_instances": len(instances),
+            "wall_seconds": t.elapsed,
+            "geomean_speedup": geo,
+            "results": {
+                name: [r.as_row() for r in rs]
+                for name, rs in results.items()
+            },
+        }), indent=2))
+        return 0
     rows = []
     for name in names:
         rs = results[name]
@@ -257,6 +345,92 @@ def _cmd_suite(args) -> int:
     print(f"wall time {t.elapsed:.2f}s; plan cache: "
           f"{any_result.plan_cache_hits} hits, "
           f"{any_result.plan_cache_misses} misses across all workers")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.exec import PlanCache
+    from repro.experiments.datasets import build_dataset
+    from repro.experiments.tables import format_table
+    from repro.tuner import (
+        Autotuner,
+        TuningProfile,
+        load_profile,
+        save_profile,
+    )
+
+    instances = list(build_dataset(args.dataset))
+    if args.limit is not None:
+        instances = instances[: args.limit]
+    if not instances:
+        raise ConfigurationError(f"dataset {args.dataset!r} is empty")
+    machine = get_machine(args.machine)
+
+    candidates = None
+    if args.schedulers:
+        candidates = [s.strip() for s in args.schedulers.split(",")
+                      if s.strip()]
+        allowed = set(available_schedulers()) - {"auto"}
+        unknown = sorted(set(candidates) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown/ineligible candidate schedulers {unknown}; "
+                f"available: {sorted(allowed)}"
+            )
+
+    profile = (load_profile(args.profile) if args.profile
+               else TuningProfile(machine=machine.name))
+    tuner = Autotuner(
+        candidates=candidates,
+        expected_solves=args.expected_solves,
+        budget_seconds=args.budget_s,
+        seed=args.seed,
+        mode=args.mode,
+    )
+    cache = PlanCache()
+    with Timer() as t:
+        decisions = [
+            tuner.tune(inst, machine, n_cores=args.cores,
+                       plan_cache=cache, profile=profile)
+            for inst in instances
+        ]
+    if args.output:
+        save_profile(profile, args.output)
+
+    warm = sum(1 for d in decisions if d.source == "profile")
+    if args.json:
+        print(json.dumps(_json_sanitize({
+            "dataset": args.dataset,
+            "machine": machine.name,
+            "mode": args.mode,
+            "seed": args.seed,
+            "wall_seconds": t.elapsed,
+            "warm_starts": warm,
+            "races_run": tuner.races_run,
+            "decisions": [d.as_dict() for d in decisions],
+        }), indent=2))
+        return 0
+
+    rows = [
+        [d.instance, d.scheduler, d.backend, d.max_batch,
+         f"{d.predicted_speedup:.2f}x",
+         "-" if not math.isfinite(d.amortization)
+         else f"{d.amortization:.0f}",
+         d.source]
+        for d in decisions
+    ]
+    print(format_table(
+        ["instance", "scheduler", "backend", "max batch",
+         "pred speed-up", "amortization", "source"],
+        rows,
+        title=f"tune: {args.dataset} ({len(instances)} instances, "
+              f"{machine.name}, {args.mode})",
+    ))
+    print(f"wall time {t.elapsed:.2f}s; {tuner.races_run} race(s), "
+          f"{warm} warm start(s) from profile")
+    if args.output:
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -314,6 +488,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
     "suite": _cmd_suite,
+    "tune": _cmd_tune,
     "generate": _cmd_generate,
     "datasets": _cmd_datasets,
     "machines": _cmd_machines,

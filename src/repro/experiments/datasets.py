@@ -23,8 +23,6 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Callable
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.graph.dag import DAG
 from repro.graph.wavefront import critical_path_length

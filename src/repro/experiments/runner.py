@@ -43,8 +43,8 @@ from repro.scheduler.reorder import schedule_reordering
 from repro.matrix.permute import permute_symmetric
 from repro.utils.timing import Timer
 
-__all__ = ["ExperimentResult", "run_instance", "run_suite",
-           "REORDERING_SCHEDULERS"]
+__all__ = ["ExperimentResult", "compiled_entry", "resolve_reorder",
+           "run_instance", "run_suite", "REORDERING_SCHEDULERS"]
 
 #: Schedulers that include the Section 5 reordering step by default
 #: (the paper applies it to its own algorithms, not to the baselines).
@@ -137,6 +137,48 @@ def _compile_triple(
     )
 
 
+def resolve_reorder(scheduler: Scheduler, reorder: bool | None = None) -> bool:
+    """The effective Section 5 reordering flag for one scheduler.
+
+    ``None`` selects the paper's default: the scheduler-declared
+    :attr:`~repro.scheduler.base.Scheduler.reorders_by_default` flag,
+    with exact-name membership in :data:`REORDERING_SCHEDULERS` as a
+    fallback for duck-typed schedulers without the attribute (substring
+    matching would misfire on any scheduler whose name merely *contains*
+    ``"growlocal"``).
+    """
+    if reorder is not None:
+        return bool(reorder)
+    return bool(
+        getattr(
+            scheduler,
+            "reorders_by_default",
+            scheduler.name in REORDERING_SCHEDULERS,
+        )
+    )
+
+
+def compiled_entry(
+    inst: DatasetInstance,
+    scheduler: Scheduler,
+    cores: int,
+    reorder: bool,
+    cache: PlanCache,
+) -> _CompiledTriple:
+    """The cached compiled triple of ``(inst, scheduler, cores, reorder)``.
+
+    This is the single cache-key convention for scheduled-and-lowered
+    triples: the experiment runner, the autotuner's prior and its racing
+    loop all go through it, so a triple is scheduled, reordered and
+    lowered at most once per shared cache no matter which consumer asks
+    first.
+    """
+    return cache.get_or_build(
+        (inst.name, scheduler.name, cores, bool(reorder)),
+        lambda: _compile_triple(inst, scheduler, cores, bool(reorder)),
+    )
+
+
 def _serial_plan(inst: DatasetInstance, cache: PlanCache) -> ExecutionPlan:
     """The instance's serial plan (the speed-up denominator), cached once
     per instance and shared by every scheduler in a suite."""
@@ -193,22 +235,19 @@ def run_instance(
     """
     cores = machine.n_cores if n_cores is None else min(n_cores,
                                                         machine.n_cores)
-    if reorder is None:
-        # the scheduler-declared flag decides; exact-name membership is
-        # only a fallback for duck-typed schedulers without the attribute
-        # (substring matching would misfire on any scheduler whose name
-        # merely *contains* "growlocal")
-        reorder = getattr(
-            scheduler,
-            "reorders_by_default",
-            scheduler.name in REORDERING_SCHEDULERS,
-        )
-
     cache = plan_cache if plan_cache is not None else PlanCache()
-    entry = cache.get_or_build(
-        (inst.name, scheduler.name, cores, bool(reorder)),
-        lambda: _compile_triple(inst, scheduler, cores, bool(reorder)),
-    )
+    # adaptive schedulers (the tuner's "auto" entry) resolve to a
+    # concrete scheduler per instance, sharing this run's plan cache and
+    # reorder flag so the tuner evaluates exactly the plans this run
+    # executes (and their compiles are one set)
+    resolver = getattr(scheduler, "resolve_for_instance", None)
+    if resolver is not None:
+        scheduler = resolver(
+            inst, machine, n_cores=cores, plan_cache=cache,
+            reorder=reorder,
+        )
+    reorder = resolve_reorder(scheduler, reorder)
+    entry = compiled_entry(inst, scheduler, cores, reorder, cache)
 
     if entry.mode == "async":
         sync_dag = entry.sync_dag or inst.dag

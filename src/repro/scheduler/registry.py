@@ -21,6 +21,18 @@ from repro.scheduler.wavefront_sched import WavefrontScheduler
 
 __all__ = ["make_scheduler", "register_scheduler", "available_schedulers"]
 
+def _make_auto(**kwargs) -> Scheduler:
+    """Factory for the tuner-backed ``"auto"`` entry.
+
+    Imported lazily: :mod:`repro.tuner` sits above the scheduler layer
+    (it consumes the experiment runner and the exec cost kernel), so a
+    top-level import here would be circular.
+    """
+    from repro.tuner.auto import AutoScheduler
+
+    return AutoScheduler(**kwargs)
+
+
 _REGISTRY: dict[str, Callable[..., Scheduler]] = {
     "serial": SerialScheduler,
     "wavefront": WavefrontScheduler,
@@ -29,6 +41,7 @@ _REGISTRY: dict[str, Callable[..., Scheduler]] = {
     "spmp": SpMPScheduler,
     "hdagg": HDaggScheduler,
     "bspg": BSPListScheduler,
+    "auto": _make_auto,
 }
 
 

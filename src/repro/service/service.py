@@ -58,6 +58,10 @@ class _System:
         "max_batch_size",
         "total_latency_seconds",
         "total_solve_seconds",
+        "max_batch",
+        "tuned_scheduler",
+        "n_plan_swaps",
+        "arms",
     )
 
     def __init__(self, key: object, plan: ExecutionPlan) -> None:
@@ -68,6 +72,13 @@ class _System:
         self.max_batch_size = 0
         self.total_latency_seconds = 0.0
         self.total_solve_seconds = 0.0
+        #: Per-system micro-batch bound (None: the service default).
+        self.max_batch: int | None = None
+        #: Autotuner outcome (None for explicitly scheduled systems).
+        self.tuned_scheduler: str | None = None
+        self.n_plan_swaps = 0
+        #: Per-arm measured seconds from the tuning race.
+        self.arms: dict[str, float] = {}
 
     def snapshot(self) -> SystemStats:
         return SystemStats(
@@ -78,6 +89,9 @@ class _System:
             max_batch_size=self.max_batch_size,
             total_latency_seconds=self.total_latency_seconds,
             total_solve_seconds=self.total_solve_seconds,
+            tuned_scheduler=self.tuned_scheduler,
+            n_plan_swaps=self.n_plan_swaps,
+            arm_seconds=dict(self.arms),
         )
 
 
@@ -150,10 +164,13 @@ class SolveService:
         self,
         key: object,
         matrix: CSRMatrix,
-        schedule: Schedule | None = None,
+        schedule: Schedule | str | None = None,
         *,
         direction: str = "forward",
         plan: ExecutionPlan | None = None,
+        machine=None,
+        tuner=None,
+        n_cores: int | None = None,
     ) -> ExecutionPlan:
         """Register ``(matrix, schedule)`` as a solve target under ``key``.
 
@@ -167,7 +184,35 @@ class SolveService:
         (it is validated against ``matrix``).  Singular systems are
         rejected here, at registration, never in the worker thread.
         Returns the compiled plan.
+
+        ``schedule="auto"`` hands the choice to the autotuner
+        (:mod:`repro.tuner`): the system starts serving on the cost
+        model's prior pick immediately, the tuner races the finalists
+        with measured micro-runs against this service's backend, and the
+        winning plan is hot-swapped in (see :meth:`hot_swap`).  The
+        race's per-arm statistics, the chosen scheduler and the swap
+        count are surfaced in :meth:`stats`; the tuned ``max_batch``
+        bound overrides the service default for this system.  Optional
+        ``machine`` (cost-model preset), ``tuner``
+        (:class:`~repro.tuner.Autotuner`) and ``n_cores`` configure the
+        tuning run.
         """
+        if isinstance(schedule, str):
+            if schedule != "auto":
+                raise ConfigurationError(
+                    f"unknown schedule spec {schedule!r}; pass a "
+                    "Schedule, None, or 'auto'"
+                )
+            if plan is not None:
+                raise ConfigurationError(
+                    "schedule='auto' and a precompiled plan are mutually "
+                    "exclusive"
+                )
+            return self._register_auto(
+                key, matrix,
+                direction=direction, machine=machine, tuner=tuner,
+                n_cores=n_cores,
+            )
         if plan is not None:
             plan.require_compatible(matrix.n, direction)
             if plan.matrix is not matrix:
@@ -192,9 +237,165 @@ class SolveService:
         plan.require_solvable()
         with self._cond:
             if self._closed:
-                raise ConfigurationError("service is closed")
+                raise ConfigurationError(
+                    "service is closed; register() after close() is not "
+                    "allowed"
+                )
             self._systems[key] = _System(key, plan)
         return plan
+
+    def _register_auto(
+        self,
+        key: object,
+        matrix: CSRMatrix,
+        *,
+        direction: str,
+        machine,
+        tuner,
+        n_cores: int | None,
+    ) -> ExecutionPlan:
+        """Tuner-backed registration (see :meth:`register`)."""
+        # local imports: the tuner layer sits above the service and
+        # importing it at module scope would be circular
+        from repro.experiments.datasets import DatasetInstance
+        from repro.experiments.runner import compiled_entry
+        from repro.machine.model import get_machine
+        from repro.scheduler.registry import make_scheduler
+        from repro.tuner.auto import (
+            DEFAULT_MACHINE,
+            Autotuner,
+            clip_cores,
+            matrix_fingerprint,
+        )
+        from repro.tuner.predict import rank_candidates
+
+        if direction != "forward":
+            raise ConfigurationError(
+                "schedule='auto' tunes forward (lower-triangular) "
+                "systems only"
+            )
+        if machine is None:
+            machine = get_machine(DEFAULT_MACHINE)
+        if tuner is None:
+            tuner = Autotuner(backend=self._backend.name)
+        elif tuner.backend is None:
+            # measured racing must time the backend this service will
+            # actually serve with, not whatever auto-selection prefers
+            tuner.backend = self._backend.name
+        cores = clip_cores(machine, n_cores)
+        # the instance name keys the shared plan cache, so it must be
+        # derived from the matrix *content*: re-registering a key (or a
+        # second service sharing the cache) with a different same-size
+        # matrix would otherwise hit the previous matrix's plans and
+        # silently serve wrong solutions
+        inst = DatasetInstance(
+            f"__auto__{matrix_fingerprint(matrix)}", matrix
+        )
+
+        # 1. prior: start serving on the cost model's pick right away.
+        # reorder=False throughout — a Section 5-reordered plan solves a
+        # symmetrically permuted system, not the one being registered.
+        scores = rank_candidates(
+            inst, tuner.candidates, machine,
+            n_cores=cores, reorder=False,
+            expected_solves=tuner.expected_solves,
+            plan_cache=self._cache,
+        )
+        prior = scores[0]
+        prior_plan = compiled_entry(
+            inst, make_scheduler(prior.name), cores, False, self._cache
+        ).plan
+        prior_plan.require_solvable()
+        with self._cond:
+            if self._closed:
+                raise ConfigurationError(
+                    "service is closed; register() after close() is not "
+                    "allowed"
+                )
+            system = _System(key, prior_plan)
+            self._systems[key] = system
+
+        # 2. race the finalists (passing the prior's ranking so the
+        # candidate simulations run once, not twice), then hot-swap the
+        # winner in while the system keeps serving
+        decision = tuner.tune(
+            inst, machine,
+            n_cores=cores, reorder=False, plan_cache=self._cache,
+            prior_scores=scores,
+        )
+        winner_plan = compiled_entry(
+            inst, make_scheduler(decision.scheduler), cores, False,
+            self._cache,
+        ).plan
+        arms = {
+            name: values[-1]
+            for name, values in (
+                tuner.last_race.measurements if tuner.last_race else {}
+            ).items()
+        }
+        with self._cond:
+            system.tuned_scheduler = decision.scheduler
+            system.max_batch = decision.max_batch
+            system.arms = arms
+        if winner_plan is not prior_plan:
+            self.hot_swap(key, winner_plan)
+        return winner_plan
+
+    def hot_swap(self, key: object, plan: ExecutionPlan) -> ExecutionPlan:
+        """Atomically replace the serving plan of a registered system.
+
+        The new plan must be a different *schedule* of the **same
+        system**: it is validated against the installed plan's size,
+        sweep direction and matrix (identity, falling back to content
+        equality for plans recompiled elsewhere) — a plan of a
+        different same-size matrix would otherwise silently serve wrong
+        solutions, the guard the explicit-plan ``register`` path
+        applies.  The auto-registration path swaps the race winner in
+        this way, and callers can re-tune a live system and swap
+        likewise.  Requests already queued execute with
+        whichever plan is installed when their batch executes; each
+        result is bit-equal to solving that plan directly — the worker
+        loads the plan reference once per batch, and plans themselves
+        are immutable.
+        """
+        plan.require_solvable()
+        with self._cond:
+            if self._closed:
+                raise ConfigurationError(
+                    "service is closed; hot_swap() after close() is not "
+                    "allowed"
+                )
+            system = self._require_system(key)
+            plan.require_compatible(
+                system.plan.n, system.plan.direction
+            )
+            if (
+                plan.matrix is not system.plan.matrix
+                and plan.matrix != system.plan.matrix
+            ):
+                raise MatrixFormatError(
+                    "hot-swapped plan was compiled from a different "
+                    f"matrix than the one registered under {key!r}"
+                )
+            system.plan = plan
+            system.n_plan_swaps += 1
+        return plan
+
+    def unregister(self, key: object) -> SystemStats:
+        """Remove a registered system, returning its final stats.
+
+        Long-running services register and retire many systems; without
+        this, the system table (and every pinned plan) grows without
+        bound.  Requests already queued for the system still complete —
+        they hold their own reference — but new submissions raise
+        :class:`~repro.errors.ConfigurationError`.  Unknown keys raise;
+        unregistering is allowed after :meth:`close` (cleanup is always
+        safe).
+        """
+        with self._cond:
+            system = self._require_system(key)
+            del self._systems[key]
+            return system.snapshot()
 
     def systems(self) -> list[object]:
         """Keys of all registered systems."""
@@ -220,7 +421,10 @@ class SolveService:
         system, checked = None, []
         with self._cond:
             if self._closed:
-                raise ConfigurationError("service is closed")
+                raise ConfigurationError(
+                    "service is closed; submit() after close() is not "
+                    "allowed"
+                )
             system = self._require_system(key)
         for b in bs:
             try:
@@ -233,7 +437,10 @@ class SolveService:
         now = time.perf_counter()
         with self._cond:
             if self._closed:
-                raise ConfigurationError("service is closed")
+                raise ConfigurationError(
+                    "service is closed; submit() after close() is not "
+                    "allowed"
+                )
             for b in checked:
                 fut: Future = Future()
                 self._queue.append(_Request(system, b, fut, now))
@@ -254,7 +461,10 @@ class SolveService:
         """
         with self._cond:
             if self._closed:
-                raise ConfigurationError("service is closed")
+                raise ConfigurationError(
+                    "service is closed; solve_block() after close() is "
+                    "not allowed"
+                )
             system = self._require_system(key)
         try:
             b_block = ExecutionBackend._check_rhs_block(system.plan,
@@ -342,9 +552,14 @@ class SolveService:
         """
         first = self._queue.popleft()
         batch = [first]
+        limit = (
+            first.system.max_batch
+            if first.system.max_batch is not None
+            else self._max_batch
+        )
         while (
             self._queue
-            and len(batch) < self._max_batch
+            and len(batch) < limit
             and self._queue[0].system is first.system
         ):
             batch.append(self._queue.popleft())

@@ -10,7 +10,7 @@ for this system when saturated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["SystemStats"]
 
@@ -37,6 +37,15 @@ class SystemStats:
         Summed enqueue-to-result latency over all completed requests.
     total_solve_seconds:
         Summed backend busy time over all batches.
+    tuned_scheduler:
+        Scheduler the autotuner picked for this system (``None`` when
+        the system was registered with an explicit schedule).
+    n_plan_swaps:
+        Times the serving plan was hot-swapped (auto-registration swaps
+        once, from the prior's plan to the race winner's).
+    arm_seconds:
+        Per-arm measured seconds from the tuning race (the online arm
+        statistics; empty for explicitly scheduled systems).
     """
 
     key: object
@@ -46,6 +55,9 @@ class SystemStats:
     max_batch_size: int = 0
     total_latency_seconds: float = 0.0
     total_solve_seconds: float = 0.0
+    tuned_scheduler: str | None = None
+    n_plan_swaps: int = 0
+    arm_seconds: dict = field(default_factory=dict)
 
     @property
     def avg_batch_size(self) -> float:
@@ -81,4 +93,6 @@ class SystemStats:
             "max_batch": self.max_batch_size,
             "avg_latency_s": self.avg_latency_seconds,
             "throughput_rps": self.throughput_rps,
+            "tuned_scheduler": self.tuned_scheduler,
+            "plan_swaps": self.n_plan_swaps,
         }

@@ -1,0 +1,61 @@
+"""Autotuner: per-matrix adaptive scheduler/backend selection.
+
+The subsystem that answers *which scheduler should run this matrix on
+this machine* automatically — per instance, in the spirit of idiographic
+per-subject modeling — instead of one hard-coded global default:
+
+* :mod:`~repro.tuner.features` — vectorized structural feature
+  extraction, computed once per matrix;
+* :mod:`~repro.tuner.predict` — the cost-model prior: candidates ranked
+  by the calibrated machine model through the shared
+  :class:`~repro.exec.PlanCache`, with Eq. 7.1 amortization in the
+  objective;
+* :mod:`~repro.tuner.race` — budgeted successive-halving racing over
+  the surviving finalists;
+* :mod:`~repro.tuner.profile` — versioned JSON tuning profiles for
+  warm starts;
+* :mod:`~repro.tuner.auto` — the :class:`Autotuner` pipeline and the
+  registry-facing :class:`AutoScheduler` (scheduler name ``"auto"``).
+"""
+
+from repro.tuner.auto import (
+    AutoScheduler,
+    Autotuner,
+    TuningDecision,
+    choose_max_batch,
+    matrix_fingerprint,
+)
+from repro.tuner.features import MatrixFeatures, extract_features
+from repro.tuner.predict import (
+    DEFAULT_CANDIDATES,
+    CandidateScore,
+    rank_candidates,
+)
+from repro.tuner.profile import (
+    PROFILE_VERSION,
+    TuningProfile,
+    entry_key,
+    load_profile,
+    save_profile,
+)
+from repro.tuner.race import RaceResult, successive_halving
+
+__all__ = [
+    "AutoScheduler",
+    "Autotuner",
+    "CandidateScore",
+    "DEFAULT_CANDIDATES",
+    "MatrixFeatures",
+    "PROFILE_VERSION",
+    "RaceResult",
+    "TuningDecision",
+    "TuningProfile",
+    "choose_max_batch",
+    "entry_key",
+    "extract_features",
+    "load_profile",
+    "matrix_fingerprint",
+    "rank_candidates",
+    "save_profile",
+    "successive_halving",
+]

@@ -1,0 +1,584 @@
+"""The autotuner: per-matrix adaptive scheduler/backend selection.
+
+:class:`Autotuner` answers the paper's central question — *which*
+scheduler wins on *which* matrix, and when its scheduling cost amortizes
+(Eq. 7.1) — automatically, per instance, instead of requiring the caller
+to hard-code a scheduler name:
+
+1. **features** — structural features are extracted once per matrix
+   (:mod:`repro.tuner.features`);
+2. **prior** — candidate schedulers are ranked cheaply by the calibrated
+   machine cost model through the shared plan cache
+   (:mod:`repro.tuner.predict`); only the top ``keep`` survive;
+3. **race** — the survivors are settled by budgeted successive-halving
+   micro-runs (:mod:`repro.tuner.race`), with the amortized scheduling
+   cost as a per-arm handicap so Eq. 7.1 stays part of the objective;
+4. **profile** — decisions are persisted as versioned JSON
+   (:mod:`repro.tuner.profile`) and reloaded for warm starts.
+
+Two racing modes are supported.  ``"measured"`` (the default) times real
+backend solves on a seeded right-hand side — ground truth on this
+hardware, at the cost of wall-clock noise.  ``"simulated"`` scores arms
+by cost-model seconds: fully deterministic, used by tests, CI and any
+caller that needs bit-reproducible decisions.
+
+:class:`AutoScheduler` packages a tuner as a registry-compatible
+scheduler (name ``"auto"``): the experiment runner resolves it per
+instance through the :meth:`~AutoScheduler.resolve_for_instance` hook,
+and the standalone :meth:`~AutoScheduler.schedule` path reconstructs a
+structural matrix from the DAG so `"auto"` also works where only a DAG
+is available (the ``repro schedule`` CLI).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import statistics
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.exec import PlanCache, get_backend
+from repro.experiments.datasets import DatasetInstance
+from repro.experiments.runner import compiled_entry, resolve_reorder
+from repro.graph.dag import DAG
+from repro.machine.model import MachineModel, get_machine
+from repro.matrix.csr import CSRMatrix
+from repro.scheduler.base import Scheduler
+from repro.scheduler.registry import make_scheduler
+from repro.scheduler.schedule import Schedule
+from repro.tuner.features import MatrixFeatures, extract_features
+from repro.tuner.predict import DEFAULT_CANDIDATES, rank_candidates
+from repro.tuner.profile import TuningProfile, entry_key
+from repro.tuner.race import RaceResult, successive_halving
+
+__all__ = [
+    "AutoScheduler",
+    "Autotuner",
+    "TuningDecision",
+    "choose_max_batch",
+    "clip_cores",
+    "matrix_fingerprint",
+]
+
+#: Machine preset assumed when no model is given (the paper's main
+#: testbed).
+DEFAULT_MACHINE = "intel_xeon_6238t"
+
+
+@dataclass(frozen=True)
+class TuningDecision:
+    """The tuner's answer for one (instance, machine, cores) triple."""
+
+    instance: str
+    machine: str
+    n_cores: int
+    scheduler: str
+    backend: str
+    max_batch: int
+    reorder: bool
+    predicted_speedup: float
+    objective_seconds: float
+    amortization: float
+    measured_seconds: float | None
+    source: str  # "raced" | "profile"
+    seed: int
+    #: Objective configuration the decision was made under (checked on
+    #: warm starts: a decision tuned for a different amortization target
+    #: or racing mode is re-tuned, not reused).
+    expected_solves: float
+    mode: str
+    features: MatrixFeatures
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable view (profile entries, ``--json`` output).
+
+        Non-finite floats (an infinite amortization) are stored as
+        ``None`` so the output is strict JSON.
+        """
+        def _finite(v: float) -> float | None:
+            return v if math.isfinite(v) else None
+
+        return {
+            "instance": self.instance,
+            "machine": self.machine,
+            "n_cores": self.n_cores,
+            "scheduler": self.scheduler,
+            "backend": self.backend,
+            "max_batch": self.max_batch,
+            "reorder": self.reorder,
+            "predicted_speedup": _finite(self.predicted_speedup),
+            "objective_seconds": _finite(self.objective_seconds),
+            "amortization": _finite(self.amortization),
+            "measured_seconds": self.measured_seconds,
+            "source": self.source,
+            "seed": self.seed,
+            "expected_solves": _finite(self.expected_solves),
+            "mode": self.mode,
+            "features": self.features.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict[str, object], *, source: str | None = None
+    ) -> "TuningDecision":
+        """Inverse of :meth:`as_dict`; ``source`` overrides the stored
+        provenance (profile hits are re-labelled ``"profile"``)."""
+        def _num(key: str) -> float:
+            v = data.get(key)
+            return math.inf if v is None else float(v)
+
+        return cls(
+            instance=str(data["instance"]),
+            machine=str(data["machine"]),
+            n_cores=int(data["n_cores"]),
+            scheduler=str(data["scheduler"]),
+            backend=str(data["backend"]),
+            max_batch=int(data["max_batch"]),
+            reorder=bool(data["reorder"]),
+            predicted_speedup=_num("predicted_speedup"),
+            objective_seconds=_num("objective_seconds"),
+            amortization=_num("amortization"),
+            measured_seconds=(
+                None
+                if data.get("measured_seconds") is None
+                else float(data["measured_seconds"])
+            ),
+            source=str(source if source is not None else data["source"]),
+            seed=int(data.get("seed", 0)),
+            expected_solves=_num("expected_solves"),
+            mode=str(data.get("mode", "")),
+            features=MatrixFeatures.from_dict(data["features"]),
+        )
+
+
+def choose_max_batch(features: MatrixFeatures) -> int:
+    """Micro-batch bound for the solve service, from matrix structure.
+
+    Deep, narrow wavefront profiles pay the per-dependency-layer sweep
+    overhead on every solve, so coalescing many right-hand sides into
+    one SpTRSM amortizes the most there; wide shallow profiles already
+    saturate each sweep, and oversized batches only add latency.
+    """
+    if features.avg_wavefront < 32.0:
+        return 64
+    if features.avg_wavefront < 256.0:
+        return 32
+    return 16
+
+
+def _stable_seed(seed: int, name: str) -> int:
+    """Mix ``seed`` with a process-independent hash of ``name``."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return (int(seed) ^ int.from_bytes(digest[:4], "little")) & 0x7FFFFFFF
+
+
+def clip_cores(machine: MachineModel, n_cores: int | None) -> int:
+    """Cores a tuning run targets: the machine's full width when
+    unspecified, else capped at the machine's width — the same clipping
+    :func:`~repro.experiments.runner.run_instance` applies, so the
+    decision is made at exactly the width the run executes."""
+    if n_cores is None:
+        return machine.n_cores
+    return min(int(n_cores), machine.n_cores)
+
+
+def matrix_fingerprint(matrix: CSRMatrix) -> str:
+    """Short content hash of a matrix (pattern *and* values).
+
+    Instance names key shared plan caches and persisted profiles, so a
+    name standing in for a matrix must change whenever the matrix does —
+    an identity- or caller-chosen name would let a cache serve plans of
+    a previously seen, different matrix under the same label.
+    """
+    h = hashlib.sha256()
+    h.update(matrix.indptr.tobytes())
+    h.update(matrix.indices.tobytes())
+    h.update(matrix.data.tobytes())
+    return f"{matrix.n}_{h.hexdigest()[:12]}"
+
+
+class Autotuner:
+    """Select the best ``(scheduler, backend, max_batch)`` per matrix.
+
+    Parameters
+    ----------
+    candidates:
+        Scheduler names to consider (default
+        :data:`~repro.tuner.predict.DEFAULT_CANDIDATES`); the ``serial``
+        baseline is always ranked alongside them.
+    expected_solves:
+        Solves expected to reuse the decision — weights the scheduling
+        cost in both the prior objective and the racing handicap
+        (Eq. 7.1).  Large values select for pure per-solve speed.
+    keep:
+        Finalists the prior forwards into the race.
+    budget_seconds / base_repeats:
+        Racing budget (see :func:`~repro.tuner.race.successive_halving`).
+    seed:
+        Seeds the racing right-hand sides; a fixed seed plus simulated
+        mode makes the whole selection deterministic.
+    mode:
+        ``"measured"`` (wall-clock micro-runs) or ``"simulated"``
+        (cost-model seconds, deterministic).
+    backend:
+        Execution backend name to tune for; ``None`` auto-selects via
+        :func:`repro.exec.get_backend`.
+    """
+
+    def __init__(
+        self,
+        *,
+        candidates: tuple[str, ...] | list[str] | None = None,
+        expected_solves: float = 1000.0,
+        keep: int = 3,
+        budget_seconds: float = 0.25,
+        base_repeats: int = 3,
+        seed: int = 0,
+        mode: str = "measured",
+        backend: str | None = None,
+    ) -> None:
+        if mode not in ("measured", "simulated"):
+            raise ConfigurationError(
+                f"unknown tuner mode {mode!r}; use 'measured' or 'simulated'"
+            )
+        if keep < 1:
+            raise ConfigurationError("keep must be >= 1")
+        self.candidates = tuple(
+            candidates if candidates is not None else DEFAULT_CANDIDATES
+        )
+        self.expected_solves = float(expected_solves)
+        self.keep = int(keep)
+        self.budget_seconds = float(budget_seconds)
+        self.base_repeats = int(base_repeats)
+        self.seed = int(seed)
+        self.mode = mode
+        self.backend = backend
+        #: Races actually run (warm starts from a profile skip racing —
+        #: observable here and asserted by tests).
+        self.races_run = 0
+        #: The full :class:`~repro.tuner.race.RaceResult` of the last
+        #: race, for reporting/debugging.
+        self.last_race: RaceResult | None = None
+
+    # ------------------------------------------------------------------
+    # the tuning pipeline
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        inst: DatasetInstance,
+        machine: MachineModel | None = None,
+        *,
+        n_cores: int | None = None,
+        reorder: bool | None = None,
+        plan_cache: PlanCache | None = None,
+        profile: TuningProfile | None = None,
+        prior_scores: list | None = None,
+    ) -> TuningDecision:
+        """Tune one instance; returns the decision (and records it in
+        ``profile`` when one is given).
+
+        Parameters
+        ----------
+        reorder:
+            Forwarded to the prior; pass ``False`` when the tuned plan
+            must solve the original (unpermuted) system.
+        plan_cache:
+            Shared :class:`~repro.exec.PlanCache` — candidate plans are
+            compiled at most once across prior, race, exhaustive suites
+            and services hanging off the same cache.
+        profile:
+            Warm-start store: a stored decision whose features still
+            match is returned without racing; fresh decisions are
+            recorded into it.
+        prior_scores:
+            Precomputed :func:`~repro.tuner.predict.rank_candidates`
+            output for exactly this (instance, machine, cores, reorder)
+            configuration.  Callers that already ranked — the solve
+            service picks a prior plan before racing — pass it here so
+            the candidate simulations run once, not twice.
+        """
+        if machine is None:
+            machine = get_machine(DEFAULT_MACHINE)
+        cores = clip_cores(machine, n_cores)
+        features = extract_features(inst, n_cores=cores)
+        key = entry_key(inst.name, machine.name, cores)
+        if profile is not None:
+            stored = profile.lookup(key, features)
+            if stored is not None:
+                try:
+                    decision = TuningDecision.from_dict(stored,
+                                                        source="profile")
+                except (KeyError, TypeError, ValueError):
+                    # a malformed entry (hand-edited, truncated) is
+                    # treated like a feature mismatch: re-tune and
+                    # overwrite it rather than crash the warm start
+                    decision = None
+                if decision is not None and self._admissible(decision,
+                                                             reorder):
+                    return decision
+
+        cache = plan_cache if plan_cache is not None else PlanCache()
+        scores = (
+            prior_scores
+            if prior_scores is not None
+            else rank_candidates(
+                inst, self.candidates, machine,
+                n_cores=cores, reorder=reorder,
+                expected_solves=self.expected_solves, plan_cache=cache,
+            )
+        )
+        finalists = scores[: self.keep]
+        by_name = {s.name: s for s in scores}
+        handicap = {
+            s.name: s.scheduling_seconds / self.expected_solves
+            for s in finalists
+        }
+        measure = self._make_measure(
+            inst, machine, cores, reorder, cache, finalists
+        )
+        race = successive_halving(
+            [s.name for s in finalists], measure,
+            budget_seconds=self.budget_seconds,
+            base_repeats=self.base_repeats,
+            handicap=handicap,
+        )
+        self.races_run += 1
+        self.last_race = race
+
+        winner = by_name[race.winner]
+        winner_sched = make_scheduler(winner.name)
+        backend_name = get_backend(self.backend).name
+        decision = TuningDecision(
+            instance=inst.name,
+            machine=machine.name,
+            n_cores=cores,
+            scheduler=winner.name,
+            backend=backend_name,
+            max_batch=choose_max_batch(features),
+            reorder=resolve_reorder(winner_sched, reorder),
+            predicted_speedup=winner.speedup,
+            objective_seconds=winner.objective_seconds,
+            amortization=winner.amortization,
+            measured_seconds=(
+                race.measurements[race.winner][-1]
+                if race.winner in race.measurements
+                else None
+            ),
+            source="raced",
+            seed=self.seed,
+            expected_solves=self.expected_solves,
+            mode=self.mode,
+            features=features,
+        )
+        if profile is not None:
+            profile.record(key, decision.as_dict())
+        return decision
+
+    def _admissible(
+        self, decision: TuningDecision, reorder: bool | None
+    ) -> bool:
+        """Whether a profile-stored decision is valid under *this*
+        tuner's configuration.
+
+        The profile key carries (instance, machine, cores) and the
+        feature check guards against structure drift, but neither knows
+        what the current caller allows: a stored pick outside the
+        candidate pool (e.g. the pool was narrowed between runs), made
+        under a different explicit reorder flag, or optimized for a
+        different objective (amortization target, racing mode) must be
+        re-tuned rather than silently returned.
+        """
+        allowed = set(self.candidates) | {"serial"}
+        if decision.scheduler not in allowed:
+            return False
+        if reorder is not None and decision.reorder != bool(reorder):
+            return False
+        if not math.isclose(decision.expected_solves,
+                            self.expected_solves, rel_tol=1e-9):
+            return False
+        if decision.mode != self.mode:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # measurement backends for the race
+    # ------------------------------------------------------------------
+    def _make_measure(self, inst, machine, cores, reorder, cache, finalists):
+        if self.mode == "simulated":
+            per_solve = {s.name: s.parallel_seconds for s in finalists}
+
+            def measure(name: str, repeats: int, round_index: int) -> float:
+                return per_solve[name]
+
+            return measure
+
+        backend = get_backend(self.backend)
+        rng = np.random.default_rng(_stable_seed(self.seed, inst.name))
+        b = rng.standard_normal(inst.n)
+
+        def measure(name: str, repeats: int, round_index: int) -> float:
+            scheduler = make_scheduler(name)
+            entry = compiled_entry(
+                inst, scheduler, cores,
+                resolve_reorder(scheduler, reorder), cache,
+            )
+            times = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                backend.solve(entry.plan, b)
+                times.append(time.perf_counter() - t0)
+            return statistics.median(times)
+
+        return measure
+
+
+# ---------------------------------------------------------------------------
+# the registry-facing "auto" scheduler
+# ---------------------------------------------------------------------------
+def _matrix_from_dag(dag: DAG) -> CSRMatrix:
+    """A structurally faithful lower-triangular matrix of ``dag``.
+
+    Unit diagonal; each strict-lower entry ``(v, u)`` mirrors the DAG
+    edge ``u -> v`` with value ``-0.5 / indegree(v)``, keeping solves on
+    the reconstructed matrix numerically bounded however deep the DAG
+    (cost models and racing only care about the structure).
+    """
+    n = dag.n
+    counts = np.diff(dag.parent_ptr)
+    dst = np.repeat(np.arange(n, dtype=np.int64), counts)
+    src = dag.parent_idx
+    vals = np.repeat(-0.5 / np.maximum(counts, 1), counts)
+    rows = np.concatenate([dst, np.arange(n, dtype=np.int64)])
+    cols = np.concatenate([src, np.arange(n, dtype=np.int64)])
+    data = np.concatenate([vals, np.ones(n)])
+    return CSRMatrix.from_coo(n, rows, cols, data)
+
+
+def _dag_instance_name(matrix: CSRMatrix) -> str:
+    """Stable content-derived name for a matrix reconstructed from a DAG
+    (see :func:`matrix_fingerprint`; reconstructed values are a pure
+    function of the structure, so the fingerprint is DAG-stable)."""
+    return f"__dag_{matrix_fingerprint(matrix)}"
+
+
+class AutoScheduler(Scheduler):
+    """Registry entry ``"auto"``: a scheduler that picks a scheduler.
+
+    The experiment harness resolves it per instance through
+    :meth:`resolve_for_instance` (duck-typed hook consumed by
+    :func:`~repro.experiments.runner.run_instance`), so suites and the
+    CLI accept ``scheduler="auto"`` and each instance gets its own
+    winner.  The standalone :meth:`schedule` path serves callers that
+    only have a DAG: a structural matrix is reconstructed, the tuner
+    runs under ``machine`` (default: the paper's main testbed), and the
+    winning scheduler computes the schedule.
+
+    Decisions are memoized per (instance, machine, cores); pass a
+    ``profile`` for cross-process warm starts.
+    """
+
+    name = "auto"
+    execution_mode = "bsp"
+    reorders_by_default = False
+
+    def __init__(
+        self,
+        *,
+        machine: MachineModel | str | None = None,
+        tuner: Autotuner | None = None,
+        profile: TuningProfile | None = None,
+        **tuner_options: object,
+    ) -> None:
+        if tuner is not None and tuner_options:
+            raise ConfigurationError(
+                "pass either a tuner instance or tuner options, not both"
+            )
+        self._tuner = tuner if tuner is not None else Autotuner(**tuner_options)
+        self._machine = (
+            get_machine(machine) if isinstance(machine, str) else machine
+        )
+        self._profile = profile
+        self._decisions: dict[
+            tuple[str, str, int, bool | None], TuningDecision
+        ] = {}
+
+    @property
+    def tuner(self) -> Autotuner:
+        return self._tuner
+
+    def decide(
+        self,
+        inst: DatasetInstance,
+        machine: MachineModel | None = None,
+        *,
+        n_cores: int | None = None,
+        plan_cache: PlanCache | None = None,
+        reorder: bool | None = None,
+    ) -> TuningDecision:
+        """The (memoized) tuning decision for ``inst`` on ``machine``.
+
+        ``reorder`` must be the same flag the caller will execute with:
+        candidates are ranked and raced under it, so the decision is
+        evaluated on exactly the plans the run uses.
+        """
+        if machine is None:
+            machine = self._machine or get_machine(DEFAULT_MACHINE)
+        cores = clip_cores(machine, n_cores)
+        memo_key = (inst.name, machine.name, cores, reorder)
+        if memo_key not in self._decisions:
+            self._decisions[memo_key] = self._tuner.tune(
+                inst, machine,
+                n_cores=cores, reorder=reorder, plan_cache=plan_cache,
+                profile=self._profile,
+            )
+        return self._decisions[memo_key]
+
+    def resolve_for_instance(
+        self,
+        inst: DatasetInstance,
+        machine: MachineModel,
+        *,
+        n_cores: int | None = None,
+        plan_cache: PlanCache | None = None,
+        reorder: bool | None = None,
+    ) -> Scheduler:
+        """Hook for the experiment runner: the concrete scheduler to use
+        for ``inst`` (shares the runner's plan cache and reorder flag,
+        so the tuner's compiles and the suite's compiles are the same
+        entries)."""
+        decision = self.decide(
+            inst, machine, n_cores=n_cores, plan_cache=plan_cache,
+            reorder=reorder,
+        )
+        return make_scheduler(decision.scheduler)
+
+    def last_decision(
+        self,
+        inst_name: str,
+        machine_name: str,
+        n_cores: int,
+        reorder: bool | None = None,
+    ) -> TuningDecision | None:
+        """The memoized decision for a configuration, if one was made."""
+        return self._decisions.get(
+            (inst_name, machine_name, int(n_cores), reorder)
+        )
+
+    def schedule(self, dag: DAG, n_cores: int) -> Schedule:
+        """Standalone path: tune on a matrix reconstructed from ``dag``
+        and delegate to the winning scheduler."""
+        self._check_cores(n_cores)
+        matrix = _matrix_from_dag(dag)
+        inst = DatasetInstance(_dag_instance_name(matrix), matrix)
+        machine = self._machine or get_machine(DEFAULT_MACHINE)
+        if n_cores > machine.n_cores:
+            # the returned schedule must target the requested width, so
+            # widen the machine model rather than letting the decision
+            # be made at a clipped core count the schedule won't use
+            machine = machine.with_cores(n_cores)
+        concrete = self.resolve_for_instance(inst, machine, n_cores=n_cores)
+        return concrete.schedule(dag, n_cores)

@@ -1,0 +1,123 @@
+"""Persisted tuning profiles: versioned JSON, loadable for warm starts.
+
+A profile maps ``(instance, machine, cores)`` to the tuning decision the
+autotuner reached, together with the matrix features the decision was
+computed from.  Re-running the tuner with a profile skips the racing
+stage for every entry whose features still match (warm start); a matrix
+that changed structure under the same name misses the feature check and
+is re-tuned rather than served a stale decision.
+
+The file format is versioned: loading a profile written by an
+incompatible version raises :class:`~repro.errors.ConfigurationError`
+instead of silently misinterpreting fields.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.tuner.features import MatrixFeatures
+
+__all__ = [
+    "PROFILE_VERSION",
+    "TuningProfile",
+    "entry_key",
+    "load_profile",
+    "save_profile",
+]
+
+#: Format version of persisted profiles; bump on incompatible changes.
+PROFILE_VERSION = 1
+
+
+def entry_key(instance: str, machine: str, n_cores: int) -> str:
+    """The profile key of one (instance, machine, cores) decision."""
+    return f"{instance}::{machine}::{int(n_cores)}"
+
+
+@dataclass
+class TuningProfile:
+    """An in-memory tuning profile (see the module docstring).
+
+    ``entries`` maps :func:`entry_key` strings to plain-dict decision
+    records (the :meth:`~repro.tuner.auto.TuningDecision.as_dict` form,
+    including the ``features`` sub-dict used for warm-start validation).
+    """
+
+    machine: str = ""
+    version: int = PROFILE_VERSION
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    def lookup(
+        self, key: str, features: MatrixFeatures
+    ) -> dict | None:
+        """The stored decision for ``key`` if its features still match,
+        else ``None`` (missing entry or structure drift)."""
+        entry = self.entries.get(key)
+        if entry is None:
+            return None
+        try:
+            stored = MatrixFeatures.from_dict(entry["features"])
+        except (KeyError, TypeError):
+            return None
+        if not features.matches(stored):
+            return None
+        return entry
+
+    def record(self, key: str, decision: dict) -> None:
+        """Insert or replace the decision stored under ``key``."""
+        self.entries[key] = decision
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def as_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "machine": self.machine,
+            "entries": self.entries,
+        }
+
+
+def save_profile(profile: TuningProfile, path: str | os.PathLike) -> None:
+    """Write ``profile`` as JSON (stable key order, human-diffable)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(profile.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_profile(path: str | os.PathLike) -> TuningProfile:
+    """Load a profile written by :func:`save_profile`.
+
+    Raises :class:`~repro.errors.ConfigurationError` on a version
+    mismatch or a structurally invalid file.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"tuning profile {path!s} is not valid JSON: {exc}"
+            ) from None
+    if not isinstance(data, dict) or "version" not in data:
+        raise ConfigurationError(
+            f"tuning profile {path!s} has no version field"
+        )
+    if data["version"] != PROFILE_VERSION:
+        raise ConfigurationError(
+            f"tuning profile {path!s} has version {data['version']!r}; "
+            f"this build reads version {PROFILE_VERSION}"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ConfigurationError(
+            f"tuning profile {path!s}: entries must be an object"
+        )
+    return TuningProfile(
+        machine=str(data.get("machine", "")),
+        version=int(data["version"]),
+        entries=entries,
+    )

@@ -115,3 +115,73 @@ def test_generate_all_kinds(tmp_path):
         out = str(tmp_path / f"{kind}.mtx")
         assert main(["generate", "--kind", kind, "--n", "100",
                      "--output", out]) == 0
+
+
+def test_compare_json(matrix_file, capsys):
+    import json
+
+    assert main(["compare", "--matrix", matrix_file, "--cores", "4",
+                 "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["n"] == 300
+    names = {r["scheduler"] for r in data["results"]}
+    assert {"growlocal", "hdagg"} <= names
+    # strict JSON: the sanitizer must have mapped inf to null
+    for r in data["results"]:
+        amort = r["amortization"]
+        assert amort is None or isinstance(amort, (int, float))
+
+
+def test_suite_json(capsys):
+    import json
+
+    assert main(["suite", "--dataset", "erdos_renyi", "--limit", "1",
+                 "--schedulers", "growlocal,hdagg", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["n_instances"] == 1
+    assert set(data["results"]) == {"growlocal", "hdagg"}
+    assert set(data["geomean_speedup"]) == {"growlocal", "hdagg"}
+    row = data["results"]["growlocal"][0]
+    assert row["n_cores"] > 0 and row["speedup"] > 0
+
+
+def test_tune_writes_profile_and_warm_starts(tmp_path, capsys):
+    import json
+
+    profile = str(tmp_path / "profile.json")
+    args = ["tune", "--dataset", "narrow_band", "--limit", "1",
+            "--schedulers", "growlocal,hdagg", "--mode", "simulated",
+            "--seed", "0", "--cores", "8"]
+    assert main([*args, "--output", profile, "--json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["races_run"] == 1 and cold["warm_starts"] == 0
+    picked = [d["scheduler"] for d in cold["decisions"]]
+    assert all(p in ("growlocal", "hdagg", "serial") for p in picked)
+
+    # re-running against the written profile skips racing entirely
+    assert main([*args, "--profile", profile, "--json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["races_run"] == 0 and warm["warm_starts"] == 1
+    assert all(d["source"] == "profile" for d in warm["decisions"])
+    assert [d["scheduler"] for d in warm["decisions"]] == picked
+
+
+def test_tune_table_output(tmp_path, capsys):
+    assert main(["tune", "--dataset", "narrow_band", "--limit", "1",
+                 "--schedulers", "growlocal,hdagg", "--mode", "simulated",
+                 "--cores", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "tune: narrow_band" in out
+    assert "race(s)" in out
+
+
+def test_tune_rejects_unknown_candidates(capsys):
+    assert main(["tune", "--dataset", "narrow_band", "--limit", "1",
+                 "--schedulers", "nope"]) == 2
+    assert "candidate" in capsys.readouterr().err
+
+
+def test_tune_rejects_auto_as_candidate(capsys):
+    assert main(["tune", "--dataset", "narrow_band", "--limit", "1",
+                 "--schedulers", "auto"]) == 2
+    assert "candidate" in capsys.readouterr().err

@@ -1,0 +1,63 @@
+"""Dataset determinism across processes.
+
+The :mod:`repro.experiments.datasets` docstring promises everything is
+deterministic given the per-instance seeds; ``run_suite_parallel``'s
+correctness *silently* depends on it (worker processes rebuild instances
+from scratch and the merged results are keyed by instance order), and so
+do the autotuner's persisted profiles (a profile entry is only valid if
+the named instance rebuilds bit-identically).  These tests pin the
+promise down: two **fresh interpreter processes** must build
+bit-identical instances.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_HASH_SNIPPET = r"""
+import hashlib
+import sys
+
+from repro.experiments.datasets import build_dataset
+
+dataset = sys.argv[1]
+h = hashlib.sha256()
+for inst in build_dataset(dataset):
+    h.update(inst.name.encode())
+    h.update(inst.lower.indptr.tobytes())
+    h.update(inst.lower.indices.tobytes())
+    h.update(inst.lower.data.tobytes())
+    h.update(str(inst.n_wavefronts).encode())
+print(h.hexdigest())
+"""
+
+
+def _dataset_hash_in_fresh_process(dataset: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _HASH_SNIPPET, dataset],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        check=True,
+    )
+    return proc.stdout.strip()
+
+
+def test_narrow_band_bit_identical_across_processes():
+    first = _dataset_hash_in_fresh_process("narrow_band")
+    second = _dataset_hash_in_fresh_process("narrow_band")
+    assert first == second
+    assert len(first) == 64  # a full sha256 was actually produced
+
+
+def test_erdos_renyi_bit_identical_across_processes():
+    first = _dataset_hash_in_fresh_process("erdos_renyi")
+    second = _dataset_hash_in_fresh_process("erdos_renyi")
+    assert first == second
+    assert len(first) == 64

@@ -20,7 +20,6 @@ from repro.errors import (
     SingularMatrixError,
 )
 from repro.exec import (
-    ExecutionPlan,
     compile_plan,
     get_backend,
     list_backends,

@@ -5,7 +5,6 @@ harness; here we test the machinery on small instances and the fast random
 datasets so the suite stays quick.
 """
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

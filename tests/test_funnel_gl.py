@@ -1,6 +1,5 @@
 """Tests specific to the Funnel+GrowLocal composite scheduler."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 

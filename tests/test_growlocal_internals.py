@@ -7,7 +7,6 @@ claim of Theorem 3.1 (empirically, as in Figure B.1).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

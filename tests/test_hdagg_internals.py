@@ -2,7 +2,6 @@
 and component-wise packing."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,10 +1,9 @@
 """Tests for the plan cache and its integration with the experiment
 runner, plus the scheduling-time measurement scope fix."""
 
-import numpy as np
 import pytest
 
-from repro.exec import PlanCache, compile_plan
+from repro.exec import PlanCache
 from repro.experiments.datasets import DatasetInstance
 from repro.experiments.runner import run_instance, run_suite
 from repro.machine.model import MachineModel

@@ -1,6 +1,5 @@
 """Tests for structural matrix properties."""
 
-import numpy as np
 
 from repro.matrix.csr import CSRMatrix
 from repro.matrix.generators import grid_laplacian_2d

@@ -1,6 +1,5 @@
 """Runner integration with the block scheduler and reordering defaults."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.datasets import DatasetInstance

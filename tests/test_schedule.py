@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.errors import ConfigurationError, InvalidScheduleError
-from repro.graph.dag import DAG
 from repro.scheduler.schedule import Schedule
 from tests.conftest import dags
 

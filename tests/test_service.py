@@ -319,3 +319,133 @@ class TestSolveServiceBehavior:
         with SolveService() as service:
             service.register("s", lower)
             assert "SolveService" in repr(service)
+
+
+class TestUnregisterAndLifecycle:
+    def test_unregister_removes_and_returns_final_stats(self, lower):
+        with SolveService() as service:
+            service.register("s", lower)
+            service.solve("s", np.ones(lower.n))
+            final = service.unregister("s")
+            assert final.n_requests == 1
+            assert "s" not in service.systems()
+            with pytest.raises(ConfigurationError):
+                service.submit("s", np.ones(lower.n))
+
+    def test_unregister_unknown_key_raises(self, lower):
+        with SolveService() as service:
+            service.register("s", lower)
+            with pytest.raises(ConfigurationError):
+                service.unregister("nope")
+
+    def test_unregister_keeps_other_systems_serving(self, lower):
+        with SolveService() as service:
+            service.register("a", lower)
+            service.register("b", lower)
+            service.unregister("a")
+            x = service.solve("b", np.ones(lower.n))
+            assert x.shape == (lower.n,)
+
+    def test_unregister_allowed_after_close(self, lower):
+        service = SolveService()
+        service.register("s", lower)
+        service.close()
+        final = service.unregister("s")
+        assert final.key == "s"
+        assert service.systems() == []
+
+    def test_queued_requests_complete_after_unregister(self, lower):
+        """Requests already queued hold their own system reference: the
+        table entry going away must not fail them."""
+        with SolveService(max_batch=4) as service:
+            service.register("s", lower)
+            futures = service.submit_many(
+                "s", [np.ones(lower.n) for _ in range(8)]
+            )
+            service.unregister("s")
+            for f in futures:
+                assert f.result().shape == (lower.n,)
+
+    def test_submit_after_close_has_a_clear_message(self, lower):
+        service = SolveService()
+        service.register("s", lower)
+        service.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.submit("s", np.ones(lower.n))
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.solve_block("s", np.ones((lower.n, 2)))
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.register("t", lower)
+
+
+class TestSharedCacheWithTuner:
+    """The satellite contract: one PlanCache shared by a live
+    SolveService and the tuner's racing loop — no recompiles for keys
+    either side already built, and a bounded LRU stays consistent under
+    concurrent hammering from both."""
+
+    def test_no_duplicate_compiles_and_consistent_lru(self):
+        from repro.exec import PlanCache
+        from repro.experiments.datasets import DatasetInstance
+        from repro.machine.model import get_machine
+        from repro.tuner import Autotuner
+
+        lower = narrow_band_lower(400, 0.1, 10.0, seed=21)
+        machine = get_machine("intel_xeon_6238t")
+        candidates = ("growlocal", "hdagg", "wavefront")
+        cache = PlanCache(max_entries=64)
+
+        with SolveService(plan_cache=cache) as service:
+            service.register("sys", lower)
+            # warm pass: every (instance, scheduler, cores) triple and
+            # the simulated-cycles entries are compiled exactly once
+            warm = Autotuner(candidates=candidates, mode="simulated",
+                             seed=0)
+            warm.tune(
+                DatasetInstance("shared", lower), machine,
+                n_cores=4, plan_cache=cache,
+            )
+            misses_after_warm = cache.misses
+
+            errors = []
+            barrier = threading.Barrier(5)
+
+            def race_loop(seed):
+                try:
+                    barrier.wait()
+                    tuner = Autotuner(candidates=candidates,
+                                      mode="simulated", seed=seed)
+                    for _ in range(3):
+                        tuner.tune(
+                            DatasetInstance("shared", lower), machine,
+                            n_cores=4, plan_cache=cache,
+                        )
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            def serve_loop():
+                try:
+                    barrier.wait()
+                    for _ in range(20):
+                        service.solve("sys", np.ones(lower.n))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=race_loop, args=(s,))
+                for s in range(4)
+            ] + [threading.Thread(target=serve_loop)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert not errors
+            # every key was already cached by the warm pass: the
+            # concurrent tuners and the serving loop added zero misses
+            assert cache.misses == misses_after_warm
+            assert cache.hits > misses_after_warm
+            assert len(cache) <= 64
+            # the service keeps serving correctly off the shared cache
+            x = service.solve("sys", np.ones(lower.n))
+            assert x.shape == (lower.n,)

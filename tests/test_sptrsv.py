@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.errors import (

@@ -1,0 +1,664 @@
+"""The autotuner subsystem: features, prior, racing, profiles, "auto".
+
+The load-bearing acceptance checks live here:
+
+* on a real dataset the tuner's per-instance pick matches the best
+  exhaustive per-instance scheduler for >= 80% of instances;
+* tuner selection is deterministic for a fixed seed (simulated racing);
+* re-tuning through a persisted profile skips racing (warm start);
+* hot-swapping a :class:`~repro.service.SolveService` onto the tuned
+  plan preserves bit-equal solves.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import PlanCache, get_backend
+from repro.experiments.datasets import DatasetInstance, build_dataset
+from repro.experiments.runner import run_instance, run_suite
+from repro.graph.dag import DAG
+from repro.machine.model import get_machine
+from repro.matrix.generators import erdos_renyi_lower, narrow_band_lower
+from repro.scheduler.registry import available_schedulers, make_scheduler
+from repro.service import SolveService
+from repro.tuner import (
+    Autotuner,
+    MatrixFeatures,
+    TuningDecision,
+    TuningProfile,
+    extract_features,
+    load_profile,
+    save_profile,
+    successive_halving,
+)
+from repro.tuner.predict import rank_candidates
+
+CANDIDATES = ("growlocal", "hdagg", "wavefront")
+N_CORES = 8
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return get_machine("intel_xeon_6238t")
+
+
+@pytest.fixture(scope="module")
+def small_inst():
+    return DatasetInstance("nb_small", narrow_band_lower(500, 0.1, 10.0,
+                                                         seed=7))
+
+
+@pytest.fixture(scope="module")
+def dataset_instances():
+    return list(build_dataset("narrow_band"))[:4]
+
+
+@pytest.fixture(scope="module")
+def shared_cache():
+    return PlanCache()
+
+
+@pytest.fixture(scope="module")
+def exhaustive(dataset_instances, machine, shared_cache):
+    """Every candidate (plus serial) on every instance, shared cache."""
+    schedulers = {
+        name: make_scheduler(name) for name in (*CANDIDATES, "serial")
+    }
+    return run_suite(dataset_instances, schedulers, machine,
+                     n_cores=N_CORES, plan_cache=shared_cache)
+
+
+# ---------------------------------------------------------------------------
+# features
+# ---------------------------------------------------------------------------
+class TestFeatures:
+    def test_basic_quantities(self, small_inst):
+        f = extract_features(small_inst, n_cores=N_CORES)
+        assert f.n == small_inst.n
+        assert f.nnz == small_inst.nnz
+        assert f.n_wavefronts == small_inst.n_wavefronts
+        assert f.avg_wavefront == pytest.approx(small_inst.avg_wavefront)
+        assert f.avg_row_nnz == pytest.approx(small_inst.nnz / small_inst.n)
+        assert 0 < f.avg_bandwidth <= f.max_bandwidth
+        assert 0.0 <= f.cross_edge_fraction <= 1.0
+        assert f.n_cores == N_CORES
+
+    def test_accepts_bare_matrix(self, small_inst):
+        direct = extract_features(small_inst.lower, n_cores=N_CORES)
+        assert direct == extract_features(small_inst, n_cores=N_CORES)
+
+    def test_deterministic_fingerprint(self, small_inst):
+        a = extract_features(small_inst, n_cores=N_CORES)
+        b = extract_features(small_inst, n_cores=N_CORES)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_dict_roundtrip_and_matching(self, small_inst):
+        f = extract_features(small_inst, n_cores=N_CORES)
+        back = MatrixFeatures.from_dict(f.as_dict())
+        assert back == f
+        assert f.matches(back)
+
+    def test_different_structure_does_not_match(self, small_inst):
+        f = extract_features(small_inst, n_cores=N_CORES)
+        other = extract_features(
+            DatasetInstance("er", erdos_renyi_lower(500, 0.01, seed=1)),
+            n_cores=N_CORES,
+        )
+        assert not f.matches(other)
+        assert f.fingerprint() != other.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# successive halving
+# ---------------------------------------------------------------------------
+class TestRace:
+    @staticmethod
+    def _fixed(times):
+        def measure(name, repeats, round_index):
+            return times[name]
+
+        return measure
+
+    def test_picks_fastest(self):
+        times = {"a": 3.0, "b": 1.0, "c": 2.0}
+        res = successive_halving(list(times), self._fixed(times),
+                                 budget_seconds=1e9)
+        assert res.winner == "b"
+        assert not res.exhausted
+        # the slowest arm is eliminated first
+        assert "a" not in res.rounds[-1]
+
+    def test_handicap_is_part_of_the_objective(self):
+        times = {"fast_expensive": 1.0, "slow_cheap": 1.5}
+        no_handicap = successive_halving(
+            list(times), self._fixed(times), budget_seconds=1e9
+        )
+        assert no_handicap.winner == "fast_expensive"
+        handicapped = successive_halving(
+            list(times), self._fixed(times), budget_seconds=1e9,
+            handicap={"fast_expensive": 10.0},
+        )
+        assert handicapped.winner == "slow_cheap"
+
+    def test_budget_exhaustion_keeps_best_so_far(self):
+        times = {"a": 5.0, "b": 1.0, "c": 2.0, "d": 3.0}
+        res = successive_halving(
+            list(times), self._fixed(times),
+            budget_seconds=1e-9, base_repeats=1,
+        )
+        # one full round always runs; afterwards the budget stops the
+        # race and the best measured arm wins
+        assert res.winner == "b"
+        assert res.exhausted
+
+    def test_deterministic_tie_break_by_arm_order(self):
+        times = {"x": 1.0, "y": 1.0}
+        assert successive_halving(
+            ["x", "y"], self._fixed(times), budget_seconds=1e9
+        ).winner == "x"
+        assert successive_halving(
+            ["y", "x"], self._fixed(times), budget_seconds=1e9
+        ).winner == "y"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            successive_halving([], self._fixed({}))
+        with pytest.raises(ConfigurationError):
+            successive_halving(["a"], self._fixed({"a": 1.0}), eta=1)
+
+
+# ---------------------------------------------------------------------------
+# the cost-model prior
+# ---------------------------------------------------------------------------
+class TestPredict:
+    def test_serial_baseline_always_ranked(self, small_inst, machine):
+        scores = rank_candidates(small_inst, CANDIDATES, machine,
+                                 n_cores=N_CORES)
+        assert {s.name for s in scores} == set(CANDIDATES) | {"serial"}
+
+    def test_sorted_by_amortized_objective(self, small_inst, machine):
+        scores = rank_candidates(small_inst, CANDIDATES, machine,
+                                 n_cores=N_CORES, expected_solves=1e15)
+        objectives = [s.objective_seconds for s in scores]
+        assert objectives == sorted(objectives)
+
+    def test_shares_the_plan_cache(self, small_inst, machine):
+        cache = PlanCache()
+        rank_candidates(small_inst, CANDIDATES, machine,
+                        n_cores=N_CORES, plan_cache=cache)
+        misses = cache.misses
+        rank_candidates(small_inst, CANDIDATES, machine,
+                        n_cores=N_CORES, plan_cache=cache)
+        assert cache.misses == misses  # second ranking is all hits
+
+
+# ---------------------------------------------------------------------------
+# the full pipeline on a real dataset (acceptance criteria)
+# ---------------------------------------------------------------------------
+class TestTunerOnDataset:
+    def _tune_all(self, instances, machine, cache, **kwargs):
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0, **kwargs)
+        return tuner, [
+            tuner.tune(inst, machine, n_cores=N_CORES, plan_cache=cache)
+            for inst in instances
+        ]
+
+    def test_matches_exhaustive_best_for_most_instances(
+        self, dataset_instances, machine, shared_cache, exhaustive
+    ):
+        """The tuner's pick achieves the best exhaustive per-instance
+        simulated solve time for >= 80% of the dataset's instances."""
+        _, decisions = self._tune_all(dataset_instances, machine,
+                                      shared_cache)
+        matches = 0
+        for i, (inst, decision) in enumerate(
+            zip(dataset_instances, decisions)
+        ):
+            per_sched = {
+                name: exhaustive[name][i].parallel_cycles
+                for name in exhaustive
+            }
+            best_cycles = min(per_sched.values())
+            assert decision.instance == inst.name
+            if per_sched[decision.scheduler] <= best_cycles * (1 + 1e-12):
+                matches += 1
+        assert matches >= math.ceil(0.8 * len(dataset_instances)), (
+            matches, [d.scheduler for d in decisions],
+        )
+
+    def test_selection_is_deterministic_for_a_fixed_seed(
+        self, dataset_instances, machine, shared_cache
+    ):
+        _, first = self._tune_all(dataset_instances, machine, shared_cache)
+        _, second = self._tune_all(dataset_instances, machine, shared_cache)
+        assert [d.as_dict() for d in first] == [
+            d.as_dict() for d in second
+        ]
+
+    def test_profile_warm_start_skips_racing(
+        self, dataset_instances, machine, shared_cache, tmp_path
+    ):
+        profile = TuningProfile(machine=machine.name)
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0)
+        cold = [
+            tuner.tune(inst, machine, n_cores=N_CORES,
+                       plan_cache=shared_cache, profile=profile)
+            for inst in dataset_instances
+        ]
+        assert tuner.races_run == len(dataset_instances)
+        assert all(d.source == "raced" for d in cold)
+
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        reloaded = load_profile(path)
+        warm_tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                               expected_solves=1e15, seed=0)
+        warm = [
+            warm_tuner.tune(inst, machine, n_cores=N_CORES,
+                            plan_cache=shared_cache, profile=reloaded)
+            for inst in dataset_instances
+        ]
+        assert warm_tuner.races_run == 0  # every decision came warm
+        assert all(d.source == "profile" for d in warm)
+        assert [d.scheduler for d in warm] == [d.scheduler for d in cold]
+        assert [d.max_batch for d in warm] == [d.max_batch for d in cold]
+
+    def test_profile_misses_on_structure_drift(self, machine, tmp_path):
+        """A stored decision is not trusted for a matrix whose features
+        changed under the same instance name."""
+        profile = TuningProfile(machine=machine.name)
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated", seed=0)
+        inst_a = DatasetInstance("same_name",
+                                 narrow_band_lower(400, 0.1, 8.0, seed=1))
+        tuner.tune(inst_a, machine, n_cores=N_CORES, profile=profile)
+        inst_b = DatasetInstance("same_name",
+                                 erdos_renyi_lower(400, 0.02, seed=2))
+        decision = tuner.tune(inst_b, machine, n_cores=N_CORES,
+                              profile=profile)
+        assert decision.source == "raced"
+        assert tuner.races_run == 2
+
+    def test_profile_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"version": 999, "entries": {}}')
+        with pytest.raises(ConfigurationError):
+            load_profile(path)
+
+    def test_profile_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ConfigurationError):
+            load_profile(path)
+
+    def test_decision_dict_roundtrip(self, small_inst, machine):
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated", seed=3)
+        decision = tuner.tune(small_inst, machine, n_cores=N_CORES)
+        back = TuningDecision.from_dict(decision.as_dict())
+        assert back == decision
+
+    def test_measured_mode_smoke(self, small_inst, machine):
+        """Measured racing runs real solves: no determinism asserted,
+        but the decision must be a ranked candidate and carry a
+        measurement."""
+        tuner = Autotuner(candidates=CANDIDATES, mode="measured",
+                          budget_seconds=0.05, seed=0)
+        decision = tuner.tune(small_inst, machine, n_cores=N_CORES)
+        assert decision.scheduler in (*CANDIDATES, "serial")
+        assert decision.measured_seconds is not None
+        assert decision.measured_seconds > 0
+
+
+# ---------------------------------------------------------------------------
+# the "auto" registry entry
+# ---------------------------------------------------------------------------
+class TestAutoScheduler:
+    def test_registered(self):
+        assert "auto" in available_schedulers()
+
+    def test_run_instance_resolves_to_the_tuned_pick(
+        self, dataset_instances, machine, shared_cache
+    ):
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0)
+        auto = make_scheduler("auto", tuner=tuner)
+        inst = dataset_instances[0]
+        result = run_instance(inst, auto, machine, n_cores=N_CORES,
+                              plan_cache=shared_cache)
+        decision = auto.last_decision(inst.name, machine.name, N_CORES)
+        assert decision is not None
+        assert result.scheduler == decision.scheduler
+        # the concrete pick's exhaustive result is reproduced exactly
+        direct = run_instance(
+            inst, make_scheduler(decision.scheduler), machine,
+            n_cores=N_CORES, plan_cache=shared_cache,
+        )
+        assert result.parallel_cycles == direct.parallel_cycles
+
+    def test_decisions_are_memoized(self, small_inst, machine):
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated", seed=0)
+        auto = make_scheduler("auto", tuner=tuner)
+        cache = PlanCache()
+        auto.resolve_for_instance(small_inst, machine, n_cores=N_CORES,
+                                  plan_cache=cache)
+        auto.resolve_for_instance(small_inst, machine, n_cores=N_CORES,
+                                  plan_cache=cache)
+        assert tuner.races_run == 1
+
+    def test_run_suite_accepts_auto(self, dataset_instances, machine,
+                                    shared_cache):
+        schedulers = {
+            "auto": make_scheduler(
+                "auto",
+                tuner=Autotuner(candidates=CANDIDATES, mode="simulated",
+                                expected_solves=1e15, seed=0),
+            ),
+            "growlocal": make_scheduler("growlocal"),
+        }
+        results = run_suite(dataset_instances[:2], schedulers, machine,
+                            n_cores=N_CORES, plan_cache=shared_cache)
+        assert set(results) == {"auto", "growlocal"}
+        assert len(results["auto"]) == 2
+        for r in results["auto"]:
+            assert r.speedup > 0
+
+    def test_run_suite_parallel_accepts_auto(self, machine):
+        """The AutoScheduler must survive pickling into pool workers."""
+        from repro.experiments.parallel import run_suite_parallel
+
+        instances = [
+            DatasetInstance(f"par_{i}",
+                            narrow_band_lower(300, 0.1, 8.0, seed=i))
+            for i in range(2)
+        ]
+        schedulers = {
+            "auto": make_scheduler(
+                "auto",
+                tuner=Autotuner(candidates=CANDIDATES, mode="simulated",
+                                expected_solves=1e15, seed=0),
+            ),
+        }
+        results = run_suite_parallel(instances, schedulers, machine,
+                                     n_cores=4, workers=2)
+        assert len(results["auto"]) == 2
+        sequential = run_suite(instances, schedulers, machine, n_cores=4)
+        assert [r.parallel_cycles for r in results["auto"]] == [
+            r.parallel_cycles for r in sequential["auto"]
+        ]
+
+    def test_standalone_schedule_is_valid_and_deterministic(self):
+        lower = narrow_band_lower(300, 0.1, 8.0, seed=5)
+        dag = DAG.from_lower_triangular(lower)
+        auto = make_scheduler("auto", mode="simulated",
+                              candidates=CANDIDATES, seed=0)
+        schedule = auto.schedule(dag, 4)
+        schedule.validate(dag)
+        again = make_scheduler("auto", mode="simulated",
+                               candidates=CANDIDATES, seed=0)
+        other = again.schedule(dag, 4)
+        assert np.array_equal(schedule.cores, other.cores)
+        assert np.array_equal(schedule.supersteps, other.supersteps)
+
+    def test_rejects_tuner_and_options_together(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("auto", tuner=Autotuner(), seed=1)
+
+
+# ---------------------------------------------------------------------------
+# SolveService auto-registration and hot-swap
+# ---------------------------------------------------------------------------
+class TestServiceAuto:
+    @pytest.fixture(scope="class")
+    def lower(self):
+        return narrow_band_lower(600, 0.1, 12.0, seed=11)
+
+    def test_hot_swap_to_tuned_plan_is_bit_equal(self, lower, machine):
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0)
+        with SolveService() as svc:
+            plan = svc.register("sys", lower, schedule="auto",
+                                tuner=tuner, machine=machine,
+                                n_cores=N_CORES)
+            rng = np.random.default_rng(0)
+            for _ in range(3):
+                b = rng.standard_normal(lower.n)
+                x = svc.solve("sys", b)
+                direct = get_backend().solve(plan, b)
+                assert np.array_equal(x, direct)
+
+    def test_auto_stats_surface_arms_and_pick(self, lower, machine):
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0)
+        with SolveService() as svc:
+            svc.register("sys", lower, schedule="auto", tuner=tuner,
+                         machine=machine, n_cores=N_CORES)
+            stats = svc.stats("sys")
+            assert stats.tuned_scheduler in (*CANDIDATES, "serial")
+            assert stats.arm_seconds  # racing recorded per-arm seconds
+            assert all(v > 0 for v in stats.arm_seconds.values())
+            row = stats.as_row()
+            assert row["tuned_scheduler"] == stats.tuned_scheduler
+
+    def test_tuned_max_batch_bounds_coalescing(self, lower, machine):
+        """The tuned per-system max_batch overrides the service default:
+        a 1000-deep backlog must never coalesce past the tuned bound."""
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0)
+        with SolveService(max_batch=1000) as svc:
+            svc.register("sys", lower, schedule="auto", tuner=tuner,
+                         machine=machine, n_cores=N_CORES)
+            tuned_bound = None
+            with svc._cond:
+                tuned_bound = svc._systems["sys"].max_batch
+            assert tuned_bound is not None and tuned_bound < 1000
+            futures = svc.submit_many(
+                "sys", [np.ones(lower.n) for _ in range(3 * tuned_bound)]
+            )
+            for f in futures:
+                f.result()
+            assert svc.stats("sys").max_batch_size <= tuned_bound
+
+    def test_explicit_hot_swap_counts_and_validates(self, lower):
+        from repro.exec import compile_plan
+        from repro.scheduler import GrowLocalScheduler
+
+        dag = DAG.from_lower_triangular(lower)
+        schedule = GrowLocalScheduler().schedule(dag, 4)
+        tuned = compile_plan(lower, schedule)
+        with SolveService() as svc:
+            svc.register("sys", lower)  # serial plan
+            b = np.linspace(1.0, 2.0, lower.n)
+            svc.hot_swap("sys", tuned)
+            assert svc.stats("sys").n_plan_swaps == 1
+            x = svc.solve("sys", b)
+            assert np.array_equal(x, get_backend().solve(tuned, b))
+            # size-incompatible plan is rejected
+            other = compile_plan(narrow_band_lower(50, 0.2, 5.0, seed=0))
+            with pytest.raises(Exception):
+                svc.hot_swap("sys", other)
+
+    def test_register_rejects_unknown_schedule_spec(self, lower):
+        with SolveService() as svc:
+            with pytest.raises(ConfigurationError):
+                svc.register("sys", lower, schedule="autotune")
+
+    def test_reregistering_key_with_different_matrix_retunes(self, machine):
+        """Regression: auto-registration keys the shared cache by matrix
+        *content*, so reusing a service key for a different same-size
+        matrix must serve the new system, not the old one's plans."""
+        from repro.solver.sptrsv import forward_substitution
+
+        a = narrow_band_lower(300, 0.12, 8.0, seed=31)
+        b_mat = narrow_band_lower(300, 0.12, 8.0, seed=32)
+        tuner_args = dict(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0)
+        rhs = np.linspace(1.0, 2.0, 300)
+        with SolveService() as svc:
+            svc.register("sys", a, schedule="auto",
+                         tuner=Autotuner(**tuner_args), machine=machine,
+                         n_cores=N_CORES)
+            svc.unregister("sys")
+            svc.register("sys", b_mat, schedule="auto",
+                         tuner=Autotuner(**tuner_args), machine=machine,
+                         n_cores=N_CORES)
+            x = svc.solve("sys", rhs)
+        np.testing.assert_allclose(
+            x, forward_substitution(b_mat, rhs), rtol=1e-10
+        )
+
+
+class TestReviewRegressions:
+    """Pins for defects found in review of the tuner integration."""
+
+    def test_run_instance_forwards_reorder_to_the_tuner(
+        self, small_inst, machine
+    ):
+        """The tuner must rank/race under the same reorder flag the run
+        executes with — a reorder=False run must not be decided on
+        Section 5-reordered plans."""
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0)
+        auto = make_scheduler("auto", tuner=tuner)
+        cache = PlanCache()
+        result = run_instance(small_inst, auto, machine,
+                              n_cores=N_CORES, reorder=False,
+                              plan_cache=cache)
+        assert not result.reordered
+        decision = auto.last_decision(small_inst.name, machine.name,
+                                      N_CORES, reorder=False)
+        assert decision is not None
+        assert decision.reorder is False
+        # the decision and the run used the same compiled triples: the
+        # winner's reorder=False triple is already cached
+        assert (small_inst.name, decision.scheduler, N_CORES,
+                False) in cache
+
+    def test_warm_start_rejects_pick_outside_the_candidate_pool(
+        self, small_inst, machine, tmp_path
+    ):
+        """A stored decision is only admissible under the current tuner
+        configuration: narrowing the candidate pool must re-tune, never
+        return an excluded scheduler from the profile."""
+        from repro.tuner import entry_key
+
+        profile = TuningProfile(machine=machine.name)
+        wide = Autotuner(candidates=CANDIDATES, mode="simulated",
+                         expected_solves=1e15, seed=0)
+        wide.tune(small_inst, machine, n_cores=N_CORES, profile=profile)
+        # force the stored pick to a scheduler the narrow pool excludes
+        key = entry_key(small_inst.name, machine.name, N_CORES)
+        profile.entries[key]["scheduler"] = "growlocal"
+        narrow = Autotuner(candidates=("hdagg",), mode="simulated",
+                           expected_solves=1e15, seed=0)
+        decision = narrow.tune(small_inst, machine, n_cores=N_CORES,
+                               profile=profile)
+        assert decision.scheduler in ("hdagg", "serial")
+        assert narrow.races_run == 1  # profile hit was not admissible
+        # the re-tuned decision replaced the inadmissible entry
+        assert profile.entries[key]["scheduler"] == decision.scheduler
+
+    def test_warm_start_rejects_mismatched_reorder_flag(
+        self, small_inst, machine
+    ):
+        """An explicit reorder flag that differs from the stored
+        decision's must re-tune (the service depends on reorder=False
+        plans solving the original system)."""
+        profile = TuningProfile(machine=machine.name)
+        tuner = Autotuner(candidates=("growlocal",), mode="simulated",
+                          expected_solves=1e15, seed=0)
+        first = tuner.tune(small_inst, machine, n_cores=N_CORES,
+                           reorder=True, profile=profile)
+        assert first.reorder is True
+        second = tuner.tune(small_inst, machine, n_cores=N_CORES,
+                            reorder=False, profile=profile)
+        assert second.reorder is False
+        assert tuner.races_run == 2
+
+    def test_hot_swap_rejects_plan_of_a_different_matrix(self):
+        """Regression: a plan compiled from a *different* same-size
+        matrix must be rejected, mirroring register()'s guard."""
+        from repro.errors import MatrixFormatError
+        from repro.exec import compile_plan
+
+        l1 = narrow_band_lower(200, 0.15, 6.0, seed=61)
+        l2 = narrow_band_lower(200, 0.15, 6.0, seed=62)
+        with SolveService() as svc:
+            svc.register("sys", l1)
+            with pytest.raises(MatrixFormatError):
+                svc.hot_swap("sys", compile_plan(l2))
+
+    def test_standalone_schedule_widens_past_the_machine_width(self):
+        """Regression: schedule(dag, n) with n above the machine preset
+        must decide *and* schedule at n, not decide at the clipped
+        width."""
+        lower = narrow_band_lower(300, 0.1, 8.0, seed=9)
+        dag = DAG.from_lower_triangular(lower)
+        auto = make_scheduler("auto", mode="simulated",
+                              candidates=CANDIDATES, seed=0)
+        wide = get_machine("intel_xeon_6238t").n_cores + 8
+        schedule = auto.schedule(dag, wide)
+        schedule.validate(dag)
+        assert schedule.n_cores == wide
+        decisions = list(auto._decisions.values())
+        assert decisions and all(d.n_cores == wide for d in decisions)
+
+    def test_warm_start_rejects_different_objective(
+        self, small_inst, machine
+    ):
+        """A decision tuned for one Eq. 7.1 amortization target (or
+        racing mode) is stale under another and must be re-tuned."""
+        profile = TuningProfile(machine=machine.name)
+        many = Autotuner(candidates=CANDIDATES, mode="simulated",
+                         expected_solves=1e15, seed=0)
+        many.tune(small_inst, machine, n_cores=N_CORES, profile=profile)
+        few = Autotuner(candidates=CANDIDATES, mode="simulated",
+                        expected_solves=1.0, seed=0)
+        decision = few.tune(small_inst, machine, n_cores=N_CORES,
+                            profile=profile)
+        assert few.races_run == 1  # stale objective -> re-raced
+        assert decision.expected_solves == 1.0
+        # same objective again now warm-starts
+        repeat = Autotuner(candidates=CANDIDATES, mode="simulated",
+                           expected_solves=1.0, seed=0)
+        assert repeat.tune(small_inst, machine, n_cores=N_CORES,
+                           profile=profile).source == "profile"
+        assert repeat.races_run == 0
+
+    def test_service_aligns_caller_tuner_with_its_backend(self, machine):
+        """A caller-supplied tuner without an explicit backend must race
+        on the service's serving backend, not auto-selection's."""
+        lower = narrow_band_lower(200, 0.15, 6.0, seed=71)
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated", seed=0)
+        assert tuner.backend is None
+        with SolveService(backend="numpy") as svc:
+            svc.register("sys", lower, schedule="auto", tuner=tuner,
+                         machine=machine, n_cores=N_CORES)
+        assert tuner.backend == "numpy"
+
+    def test_malformed_profile_entry_falls_back_to_retuning(
+        self, small_inst, machine
+    ):
+        """An entry whose features match but whose decision fields are
+        missing must re-tune (like a feature mismatch), not crash."""
+        from repro.tuner import entry_key
+
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0)
+        profile = TuningProfile(machine=machine.name)
+        good = tuner.tune(small_inst, machine, n_cores=N_CORES,
+                          profile=profile)
+        key = entry_key(small_inst.name, machine.name, N_CORES)
+        profile.entries[key] = {
+            "features": profile.entries[key]["features"],  # only this
+        }
+        decision = tuner.tune(small_inst, machine, n_cores=N_CORES,
+                              profile=profile)
+        assert decision.source == "raced"
+        assert decision.scheduler == good.scheduler
+        # the repaired entry is written back complete
+        assert profile.entries[key]["scheduler"] == good.scheduler
