@@ -1,4 +1,4 @@
-"""Micro-benchmark of the autotuner's cost structure.
+"""Micro-benchmarks of the autotuner's cost structure.
 
 The tuner's reason to exist is that it answers "which scheduler should
 run this matrix" *without* paying the exhaustive sweep every time:
@@ -9,13 +9,19 @@ run this matrix" *without* paying the exhaustive sweep every time:
   so adding ``"auto"`` to a suite is almost free;
 * warm-starting from a persisted profile skips ranking *and* racing,
   so re-tuning a known fleet of systems costs feature extraction plus a
-  dictionary lookup.
+  dictionary lookup;
+* the **learned prior** replaces the cost-model prior's one simulation
+  per candidate with one ridge inference per candidate: on a seeded
+  20-instance corpus it must match the exhaustive per-instance best at
+  least as often as the cost-model prior while ranking candidates
+  >= 10x faster than per-candidate simulation (asserted below).
 
-``REPRO_BENCH_SMOKE=1`` shrinks the instance so the assertions can run
+``REPRO_BENCH_SMOKE=1`` shrinks the instances so the assertions can run
 on every CI push.
 """
 
 import os
+import time
 
 import numpy as np
 
@@ -24,9 +30,16 @@ from repro.experiments.datasets import DatasetInstance
 from repro.experiments.runner import run_suite
 from repro.experiments.tables import format_table
 from repro.machine.model import get_machine
-from repro.matrix.generators import narrow_band_lower
+from repro.matrix.generators import erdos_renyi_lower, narrow_band_lower
 from repro.scheduler.registry import make_scheduler
-from repro.tuner import Autotuner, TuningProfile
+from repro.tuner import (
+    Autotuner,
+    LearnedPrior,
+    LearnedTunerModel,
+    TuningProfile,
+    extract_features,
+    rank_candidates,
+)
 from repro.utils.timing import Timer
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
@@ -84,3 +97,117 @@ def test_tuning_adds_no_compiles_over_an_exhaustive_sweep():
     ))
     assert warm.scheduler == decision.scheduler
     assert np.isfinite(t_warm.elapsed)
+
+
+# ---------------------------------------------------------------------------
+# the learned prior: accuracy parity + >=10x ranking speedup
+# ---------------------------------------------------------------------------
+def _seeded_corpus(n_instances: int = 20) -> list[DatasetInstance]:
+    """A fixed-seed mixed corpus (narrow bands + Erdős–Rényi)."""
+    base = 250 if SMOKE else 700
+    insts = []
+    for i in range(n_instances):
+        n = base + 41 * i
+        if i % 2 == 0:
+            insts.append(DatasetInstance(
+                f"corpus_nb{i}",
+                narrow_band_lower(n, 0.08, 5.0 + (i % 5) * 3.0, seed=i),
+            ))
+        else:
+            insts.append(DatasetInstance(
+                f"corpus_er{i}",
+                erdos_renyi_lower(n, 8.0 / n, seed=i),
+            ))
+    return insts
+
+
+def test_learned_prior_accuracy_parity_and_ranking_speedup():
+    """Acceptance: on a seeded 20-instance corpus the learned prior's
+    pick matches the exhaustive per-instance best at least as often as
+    the cost-model prior's, and ranking by inference is >= 10x faster
+    than ranking by per-candidate cost-model simulation."""
+    machine = get_machine("intel_xeon_6238t")
+    corpus = _seeded_corpus(20)
+    cache = PlanCache()
+
+    # ground truth: exhaustive sweep over the pool (+ serial)
+    schedulers = {n: make_scheduler(n) for n in (*CANDIDATES, "serial")}
+    exhaustive = run_suite(corpus, schedulers, machine,
+                           n_cores=N_CORES, plan_cache=cache)
+
+    def n_matches(picks: list[str]) -> int:
+        matches = 0
+        for i, pick in enumerate(picks):
+            per_sched = {name: exhaustive[name][i].parallel_cycles
+                         for name in exhaustive}
+            if per_sched[pick] <= min(per_sched.values()) * (1 + 1e-12):
+                matches += 1
+        return matches
+
+    # cold pass with the cost prior builds the training store
+    profile = TuningProfile(machine=machine.name)
+    cost = Autotuner(candidates=CANDIDATES, mode="simulated",
+                     expected_solves=1e15, seed=0)
+    cost_picks = [
+        cost.tune(inst, machine, n_cores=N_CORES, plan_cache=cache,
+                  profile=profile).scheduler
+        for inst in corpus
+    ]
+
+    model = LearnedTunerModel.fit(profile.observations)
+    learned = Autotuner(candidates=CANDIDATES, mode="simulated",
+                        expected_solves=1e15, seed=0,
+                        prior="learned", model=model,
+                        min_prediction_samples=3,
+                        max_prediction_std=5.0)
+    learned_picks = [
+        learned.tune(inst, machine, n_cores=N_CORES, plan_cache=cache)
+        .scheduler
+        for inst in corpus
+    ]
+
+    m_cost, m_learned = n_matches(cost_picks), n_matches(learned_picks)
+    assert m_learned >= m_cost, (
+        f"learned prior matched the exhaustive best on {m_learned}/20 "
+        f"instances, cost-model prior on {m_cost}/20"
+    )
+    assert learned.learned_prior.n_predicted > 0
+
+    # ranking speed: pure inference vs per-candidate simulation, both
+    # on a fully warm plan cache and precomputed features (the tuner
+    # extracts features regardless of prior)
+    inst = corpus[0]
+    features = extract_features(inst, n_cores=N_CORES)
+    prior = LearnedPrior(model, min_samples=3, max_std=5.0)
+    reps = 10
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        rank_candidates(inst, CANDIDATES, machine, n_cores=N_CORES,
+                        plan_cache=cache, expected_solves=1e15)
+    cost_rank_s = (time.perf_counter() - t0) / reps
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        prior.rank(inst, CANDIDATES, machine, n_cores=N_CORES,
+                   plan_cache=cache, features=features,
+                   expected_solves=1e15)
+    learned_rank_s = (time.perf_counter() - t0) / reps
+    assert prior.n_fallback == 0, "gate rejected a trained candidate"
+
+    speedup = cost_rank_s / learned_rank_s
+    print()
+    print(format_table(
+        ["prior", "rank time ms", "matches /20"],
+        [
+            ["cost model (per-candidate sim)",
+             f"{cost_rank_s * 1e3:.3f}", str(m_cost)],
+            ["learned (per-candidate inference)",
+             f"{learned_rank_s * 1e3:.4f}", str(m_learned)],
+        ],
+        title=f"prior ranking cost ({len(CANDIDATES)} candidates + "
+              f"serial, speedup {speedup:.0f}x)",
+    ))
+    assert speedup >= 10.0, (
+        f"learned ranking only {speedup:.1f}x faster than simulation"
+    )

@@ -79,10 +79,14 @@ from repro.service import SolveService
 from repro.tuner import (
     AutoScheduler,
     Autotuner,
+    LearnedPrior,
+    LearnedTunerModel,
     TuningDecision,
     TuningProfile,
     extract_features,
+    load_model,
     load_profile,
+    save_model,
     save_profile,
 )
 from repro.solver import (
@@ -108,6 +112,8 @@ __all__ = [
     "HDaggScheduler",
     "InvalidPartitionError",
     "InvalidScheduleError",
+    "LearnedPrior",
+    "LearnedTunerModel",
     "MachineModel",
     "MatrixFormatError",
     "NotTriangularError",
@@ -131,8 +137,10 @@ __all__ = [
     "get_machine",
     "list_backends",
     "list_machines",
+    "load_model",
     "load_profile",
     "make_scheduler",
+    "save_model",
     "save_profile",
     "scheduled_sptrsv",
     "threaded_sptrsv",

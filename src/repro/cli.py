@@ -13,6 +13,11 @@ Exposes the library's main workflows without writing Python::
     python -m repro tune      --dataset narrow_band \
                               --machine intel_xeon_6238t \
                               --output profile.json
+    python -m repro tune      --dataset narrow_band \
+                              --profile profile.json \
+                              --train --model model.json
+    python -m repro tune      --dataset narrow_band \
+                              --profile profile.json --model model.json
     python -m repro generate  --kind erdos_renyi --n 10000 --p 5e-4 \
                               --output L.mtx
     python -m repro datasets  --name suitesparse
@@ -20,7 +25,9 @@ Exposes the library's main workflows without writing Python::
 
 ``compare``, ``suite`` and ``tune`` accept ``--json`` for
 machine-readable output (consumed by CI smoke checks and scripting
-instead of scraping the tables).
+instead of scraping the tables).  ``tune --train`` fits the learned
+prior from a profile's accumulated observations; ``tune --model``
+ranks with it (``docs/cli.md`` documents every verb).
 
 Matrices are read/written in Matrix Market format; schedules in the JSON
 format of :mod:`repro.scheduler.serialize`.
@@ -146,9 +153,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "deterministic cost-model seconds (simulated)")
     p.add_argument("--profile",
                    help="warm-start from this profile JSON (entries "
-                        "with matching features skip racing)")
+                        "with matching features skip racing); cold "
+                        "runs append training observations and the "
+                        "updated profile is written back here unless "
+                        "--output says otherwise")
     p.add_argument("--output",
-                   help="write the updated profile JSON here")
+                   help="write the updated profile JSON here "
+                        "(default: the --profile path when given)")
+    p.add_argument("--prior", choices=["cost", "learned"],
+                   default=None,
+                   help="candidate-ranking prior: one cost-model "
+                        "simulation per candidate (cost, default) or "
+                        "one model inference per candidate with "
+                        "per-candidate cost-model fallback (learned; "
+                        "implied by --model unless --train is given — "
+                        "pass --prior learned explicitly to also rank "
+                        "with the model being retrained)")
+    p.add_argument("--model",
+                   help="learned-prior model JSON: read it to rank "
+                        "with the learned prior, or (with --train) "
+                        "write the freshly trained model here")
+    p.add_argument("--train", action="store_true",
+                   help="after tuning, train the learned prior on the "
+                        "profile's accumulated observations (of this "
+                        "run's --mode) and write it to --model; with "
+                        "--prior learned an existing --model file is "
+                        "first used for ranking, then refreshed")
+    p.add_argument("--min-samples", type=int, default=4,
+                   help="learned prior: observations a per-scheduler "
+                        "model needs before its predictions are "
+                        "trusted (below: cost-model fallback)")
+    p.add_argument("--max-std", type=float, default=0.75,
+                   help="learned prior: largest admissible predictive "
+                        "standard deviation, log space (above: "
+                        "cost-model fallback)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON instead of a table")
 
@@ -355,8 +393,10 @@ def _cmd_tune(args) -> int:
     from repro.experiments.tables import format_table
     from repro.tuner import (
         Autotuner,
+        LearnedTunerModel,
         TuningProfile,
         load_profile,
+        save_model,
         save_profile,
     )
 
@@ -379,6 +419,30 @@ def _cmd_tune(args) -> int:
                 f"available: {sorted(allowed)}"
             )
 
+    import os.path
+
+    if args.train and not args.model:
+        raise ConfigurationError(
+            "--train needs --model PATH to write the trained model to"
+        )
+    prior = args.prior
+    load_model_path = None
+    if args.model and not args.train:
+        load_model_path = args.model
+        if prior is None:
+            prior = "learned"  # a model to read implies the learned prior
+    elif args.model and args.train and prior == "learned" \
+            and os.path.exists(args.model):
+        # an explicit learned-prior run that also retrains: rank with
+        # the existing model, then overwrite it with the refreshed fit
+        load_model_path = args.model
+    if prior is None:
+        prior = "cost"
+    if load_model_path and prior != "learned":
+        raise ConfigurationError(
+            "--model (without --train) requires --prior learned"
+        )
+
     profile = (load_profile(args.profile) if args.profile
                else TuningProfile(machine=machine.name))
     tuner = Autotuner(
@@ -387,6 +451,10 @@ def _cmd_tune(args) -> int:
         budget_seconds=args.budget_s,
         seed=args.seed,
         mode=args.mode,
+        prior=prior,
+        model=load_model_path,
+        max_prediction_std=args.max_std,
+        min_prediction_samples=args.min_samples,
     )
     cache = PlanCache()
     with Timer() as t:
@@ -395,21 +463,60 @@ def _cmd_tune(args) -> int:
                        plan_cache=cache, profile=profile)
             for inst in instances
         ]
-    if args.output:
-        save_profile(profile, args.output)
+    # without an explicit --output the updated profile (decisions plus
+    # any appended training observations) is written back to --profile,
+    # so the accumulate-then---train workflow never silently drops data
+    profile_out = args.output or args.profile
+    if profile_out:
+        save_profile(profile, profile_out)
+
+    trained = None
+    if args.train:
+        # restrict training to this run's measurement regime so
+        # simulated and wall-clock targets never pool into one model
+        trained = LearnedTunerModel.fit(profile.observations,
+                                        mode=args.mode)
+        if len(trained) == 0 and os.path.exists(args.model):
+            raise ConfigurationError(
+                f"the training store yielded no fittable models (too "
+                f"few {args.mode!r}-mode observations); refusing to "
+                f"overwrite the existing model {args.model} with an "
+                f"empty one — accumulate more observations via "
+                f"--profile first"
+            )
+        save_model(trained, args.model)
 
     warm = sum(1 for d in decisions if d.source == "profile")
+    learned_stats = (
+        {
+            "n_predicted": tuner.learned_prior.n_predicted,
+            "n_fallback": tuner.learned_prior.n_fallback,
+        }
+        if tuner.learned_prior is not None
+        else None
+    )
     if args.json:
-        print(json.dumps(_json_sanitize({
+        payload = {
             "dataset": args.dataset,
             "machine": machine.name,
             "mode": args.mode,
+            "prior": prior,
             "seed": args.seed,
             "wall_seconds": t.elapsed,
             "warm_starts": warm,
             "races_run": tuner.races_run,
+            "n_observations": profile.n_observations,
+            "learned_prior": learned_stats,
             "decisions": [d.as_dict() for d in decisions],
-        }), indent=2))
+        }
+        if trained is not None:
+            payload["trained"] = {
+                "model": args.model,
+                "schedulers": trained.schedulers,
+                "n_samples": {name: trained.n_samples(name)
+                              for name in trained.schedulers},
+            }
+        print(json.dumps(_json_sanitize(payload), indent=2))
         return 0
 
     rows = [
@@ -427,10 +534,18 @@ def _cmd_tune(args) -> int:
         title=f"tune: {args.dataset} ({len(instances)} instances, "
               f"{machine.name}, {args.mode})",
     ))
-    print(f"wall time {t.elapsed:.2f}s; {tuner.races_run} race(s), "
-          f"{warm} warm start(s) from profile")
-    if args.output:
-        print(f"wrote {args.output}")
+    line = (f"wall time {t.elapsed:.2f}s; {tuner.races_run} race(s), "
+            f"{warm} warm start(s) from profile")
+    if learned_stats is not None:
+        line += (f"; learned prior: {learned_stats['n_predicted']} "
+                 f"predicted, {learned_stats['n_fallback']} fell back")
+    print(line)
+    if profile_out:
+        print(f"wrote {profile_out} "
+              f"({profile.n_observations} observation(s))")
+    if trained is not None:
+        print(f"wrote {args.model} (models for: "
+              f"{', '.join(trained.schedulers) or 'nothing — store empty'})")
     return 0
 
 

@@ -54,6 +54,19 @@ class ExecutionBackend:
     Subclasses implement :meth:`solve` (single RHS) and may override
     :meth:`solve_block` (SpTRSM, ``n x k`` RHS block); constructors raise
     :class:`BackendUnavailableError` when the environment cannot run them.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.exec import compile_plan, get_backend
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> L = narrow_band_lower(50, 0.2, 4.0, seed=0)
+    >>> backend = get_backend()              # an ExecutionBackend
+    >>> plan = compile_plan(L)
+    >>> backend.solve(plan, np.ones(L.n)).shape          # SpTRSV
+    (50,)
+    >>> backend.solve_block(plan, np.ones((L.n, 3))).shape  # SpTRSM
+    (50, 3)
     """
 
     name: str = "abstract"
@@ -158,6 +171,18 @@ class NumpyBackend(ExecutionBackend):
     (:func:`_segment_sums`), so ``solve_block`` columns are bit-equal to
     the corresponding ``solve`` results — the invariant the coalescing
     :class:`~repro.service.SolveService` relies on.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.exec import compile_plan
+    >>> from repro.exec.backends import NumpyBackend
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> L = narrow_band_lower(60, 0.2, 4.0, seed=1)
+    >>> plan = compile_plan(L)
+    >>> x = NumpyBackend().solve(plan, np.ones(L.n))
+    >>> bool(np.allclose(L.matvec(x), np.ones(L.n)))
+    True
     """
 
     name = "numpy"
@@ -242,6 +267,15 @@ class NumbaBackend(ExecutionBackend):
     machine-code loop over positions is correct; numba removes the
     interpreter from the inner loop entirely.  Constructing this backend
     without numba installed raises :class:`BackendUnavailableError`.
+
+    Examples
+    --------
+    >>> from repro.exec.backends import NumbaBackend
+    >>> NumbaBackend().name                     # doctest: +SKIP
+    'numba'
+    >>> from repro.exec import get_backend      # graceful fallback:
+    >>> get_backend().name in ("numba", "numpy")
+    True
     """
 
     name = "numba"
@@ -369,6 +403,18 @@ def register_backend(
     The factory is called lazily on first :func:`get_backend` lookup; it
     should raise :class:`BackendUnavailableError` when the environment
     cannot support the backend.
+
+    Examples
+    --------
+    >>> from repro.exec import get_backend, list_backends, register_backend
+    >>> from repro.exec.backends import NumpyBackend
+    >>> class LoudBackend(NumpyBackend):
+    ...     name = "loud"
+    >>> register_backend("loud", LoudBackend, replace=True)
+    >>> "loud" in list_backends()
+    True
+    >>> get_backend("loud").name
+    'loud'
     """
     if name in _FACTORIES and not replace:
         raise ConfigurationError(f"backend {name!r} is already registered")
@@ -377,12 +423,26 @@ def register_backend(
 
 
 def list_backends() -> list[str]:
-    """All registered backend names (available or not)."""
+    """All registered backend names (available or not).
+
+    Examples
+    --------
+    >>> from repro.exec import list_backends
+    >>> {"numpy", "numba"} <= set(list_backends())
+    True
+    """
     return sorted(_FACTORIES)
 
 
 def available_backends() -> list[str]:
-    """Registered backends that can actually run here."""
+    """Registered backends that can actually run here.
+
+    Examples
+    --------
+    >>> from repro.exec import available_backends
+    >>> "numpy" in available_backends()   # always runnable
+    True
+    """
     out = []
     for name in list_backends():
         try:
@@ -412,6 +472,14 @@ def get_backend(name: str | None = None) -> ExecutionBackend:
     variable when set, else the fastest available backend (``numba`` when
     importable, falling back to ``numpy``).  Passing an explicit ``name``
     raises :class:`BackendUnavailableError` if that backend cannot run.
+
+    Examples
+    --------
+    >>> from repro.exec import get_backend
+    >>> get_backend("numpy").name
+    'numpy'
+    >>> get_backend().name in ("numba", "numpy")   # auto-selection
+    True
     """
     if isinstance(name, ExecutionBackend):
         return name

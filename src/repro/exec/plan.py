@@ -88,6 +88,16 @@ class ExecutionPlan:
         Row id of the first missing/zero diagonal, ``-1`` when the matrix
         is solvable.  :meth:`require_solvable` turns it into a
         :class:`~repro.errors.SingularMatrixError`.
+
+    Examples
+    --------
+    >>> from repro.exec import compile_plan
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> plan = compile_plan(narrow_band_lower(100, 0.1, 5.0, seed=0))
+    >>> (plan.n, plan.direction, plan.n_cores)
+    (100, 'forward', 1)
+    >>> plan.n_batches >= 1
+    True
     """
 
     __slots__ = (
@@ -249,6 +259,22 @@ def compile_plan(
         :class:`~repro.errors.SingularMatrixError` here, at compile time.
         The machine simulators pass ``False`` — cost models only need the
         structure.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.exec import compile_plan, get_backend
+    >>> from repro.graph.dag import DAG
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> from repro.scheduler import GrowLocalScheduler
+    >>> from repro.solver.sptrsv import forward_substitution
+    >>> L = narrow_band_lower(200, 0.1, 8.0, seed=0)
+    >>> schedule = GrowLocalScheduler().schedule(
+    ...     DAG.from_lower_triangular(L), 4)
+    >>> plan = compile_plan(L, schedule)     # compile once...
+    >>> x = get_backend().solve(plan, np.ones(L.n))  # ...execute many
+    >>> np.allclose(x, forward_substitution(L, np.ones(L.n)))
+    True
     """
     if direction not in ("forward", "backward"):
         raise MatrixFormatError(f"unknown direction {direction!r}")

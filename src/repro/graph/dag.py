@@ -46,6 +46,17 @@ class DAG:
         CSR arrays for children, sorted.
     weights:
         Positive vertex weights (compute cost of each vertex).
+
+    Examples
+    --------
+    >>> from repro import DAG
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> dag = DAG.from_lower_triangular(
+    ...     narrow_band_lower(100, 0.2, 5.0, seed=0))
+    >>> dag.n
+    100
+    >>> dag.parents(0).size          # row 0 depends on nothing
+    0
     """
 
     __slots__ = (

@@ -155,12 +155,27 @@ _PRESETS: dict[str, MachineModel] = {
 
 
 def list_machines() -> list[str]:
-    """Names of available machine presets."""
+    """Names of available machine presets.
+
+    Examples
+    --------
+    >>> from repro import list_machines
+    >>> "intel_xeon_6238t" in list_machines()
+    True
+    """
     return sorted(_PRESETS)
 
 
 def get_machine(name: str) -> MachineModel:
-    """Look up a machine preset by name."""
+    """Look up a machine preset by name.
+
+    Examples
+    --------
+    >>> from repro import get_machine
+    >>> m = get_machine("intel_xeon_6238t")
+    >>> (m.name, m.n_cores)
+    ('intel_xeon_6238t', 22)
+    """
     try:
         return _PRESETS[name]
     except KeyError:

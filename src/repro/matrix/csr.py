@@ -38,6 +38,17 @@ class CSRMatrix:
     check:
         When true (default) the structure is validated; pass ``False`` only
         for internal construction from already-validated arrays.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import CSRMatrix
+    >>> L = CSRMatrix.from_coo(2, rows=[0, 1, 1], cols=[0, 0, 1],
+    ...                        vals=[2.0, 1.0, 4.0])
+    >>> (L.n, L.nnz, bool(L.is_lower_triangular()))
+    (2, 3, True)
+    >>> L.matvec(np.ones(2)).tolist()
+    [2.0, 5.0]
     """
 
     __slots__ = ("n", "indptr", "indices", "data")

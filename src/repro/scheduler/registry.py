@@ -56,7 +56,16 @@ def available_schedulers() -> list[str]:
 
 
 def make_scheduler(name: str, **kwargs) -> Scheduler:
-    """Instantiate a registered scheduler by name with keyword options."""
+    """Instantiate a registered scheduler by name with keyword options.
+
+    Examples
+    --------
+    >>> from repro import make_scheduler
+    >>> make_scheduler("growlocal").name
+    'growlocal'
+    >>> make_scheduler("auto").name     # the autotuner, registry-faced
+    'auto'
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:

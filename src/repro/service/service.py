@@ -267,7 +267,7 @@ class SolveService:
             clip_cores,
             matrix_fingerprint,
         )
-        from repro.tuner.predict import rank_candidates
+        from repro.tuner.features import extract_features
 
         if direction != "forward":
             raise ConfigurationError(
@@ -292,14 +292,17 @@ class SolveService:
             f"__auto__{matrix_fingerprint(matrix)}", matrix
         )
 
-        # 1. prior: start serving on the cost model's pick right away.
-        # reorder=False throughout — a Section 5-reordered plan solves a
-        # symmetrically permuted system, not the one being registered.
-        scores = rank_candidates(
-            inst, tuner.candidates, machine,
-            n_cores=cores, reorder=False,
-            expected_solves=tuner.expected_solves,
-            plan_cache=self._cache,
+        # 1. prior: start serving on the prior's pick right away (the
+        # tuner's configured prior — cost model, or learned inference
+        # with cost-model fallback).  reorder=False throughout — a
+        # Section 5-reordered plan solves a symmetrically permuted
+        # system, not the one being registered.  Features are extracted
+        # once here and shared by the ranking and the tuning run.
+        features = extract_features(inst, n_cores=cores)
+        scores = tuner.rank_prior(
+            inst, machine,
+            n_cores=cores, reorder=False, plan_cache=self._cache,
+            features=features,
         )
         prior = scores[0]
         prior_plan = compiled_entry(
@@ -321,7 +324,7 @@ class SolveService:
         decision = tuner.tune(
             inst, machine,
             n_cores=cores, reorder=False, plan_cache=self._cache,
-            prior_scores=scores,
+            prior_scores=scores, features=features,
         )
         winner_plan = compiled_entry(
             inst, make_scheduler(decision.scheduler), cores, False,

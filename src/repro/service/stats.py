@@ -46,6 +46,21 @@ class SystemStats:
     arm_seconds:
         Per-arm measured seconds from the tuning race (the online arm
         statistics; empty for explicitly scheduled systems).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> from repro.service import SolveService
+    >>> L = narrow_band_lower(80, 0.2, 5.0, seed=0)
+    >>> with SolveService() as svc:
+    ...     _ = svc.register("sys", L)
+    ...     _ = svc.solve("sys", np.ones(80))
+    ...     stats = svc.stats("sys")
+    >>> (stats.n_requests, stats.n_rows)
+    (1, 80)
+    >>> stats.avg_batch_size
+    1.0
     """
 
     key: object

@@ -54,6 +54,18 @@ def scheduled_sptrsv(
         when omitted.  Ignored on the verification path.
     backend:
         Execution backend name (default auto-selection).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import DAG, GrowLocalScheduler, scheduled_sptrsv
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> L = narrow_band_lower(100, 0.15, 6.0, seed=0)
+    >>> sched = GrowLocalScheduler().schedule(
+    ...     DAG.from_lower_triangular(L), 4)
+    >>> x = scheduled_sptrsv(L, np.ones(100), sched)
+    >>> bool(np.allclose(L.matvec(x), np.ones(100)))
+    True
     """
     lower.require_lower_triangular()
     b = np.asarray(b, dtype=np.float64)

@@ -83,6 +83,16 @@ def forward_substitution(
     backend:
         Execution backend name (default: auto-selected, see
         :func:`repro.exec.get_backend`).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import forward_substitution
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> L = narrow_band_lower(50, 0.2, 4.0, seed=0)
+    >>> x = forward_substitution(L, np.ones(50))
+    >>> bool(np.allclose(L.matvec(x), np.ones(50)))
+    True
     """
     if plan is None:
         plan = compile_plan(lower)
@@ -99,7 +109,18 @@ def backward_substitution(
     plan: ExecutionPlan | None = None,
     backend: str | None = None,
 ) -> np.ndarray:
-    """Solve ``U x = b`` for upper-triangular ``U`` (reverse sweep)."""
+    """Solve ``U x = b`` for upper-triangular ``U`` (reverse sweep).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import backward_substitution
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> U = narrow_band_lower(50, 0.2, 4.0, seed=0).transpose()
+    >>> x = backward_substitution(U, np.ones(50))
+    >>> bool(np.allclose(U.matvec(x), np.ones(50)))
+    True
+    """
     if plan is None:
         plan = compile_plan(upper, direction="backward")
     else:

@@ -6,14 +6,19 @@ per-subject modeling — instead of one hard-coded global default:
 
 * :mod:`~repro.tuner.features` — vectorized structural feature
   extraction, computed once per matrix;
-* :mod:`~repro.tuner.predict` — the cost-model prior: candidates ranked
-  by the calibrated machine model through the shared
-  :class:`~repro.exec.PlanCache`, with Eq. 7.1 amortization in the
-  objective;
+* :mod:`~repro.tuner.predict` — the priors: candidates ranked by the
+  calibrated machine cost model through the shared
+  :class:`~repro.exec.PlanCache` (:func:`rank_candidates`), or by one
+  trained-model inference per candidate with per-candidate cost-model
+  fallback (:class:`LearnedPrior`) — Eq. 7.1 amortization in the
+  objective either way;
+* :mod:`~repro.tuner.learn` — the ridge-regression ensemble behind the
+  learned prior: trained on accumulated tuning-profile observations,
+  uncertainty-gated by leave-one-out predictive variance;
 * :mod:`~repro.tuner.race` — budgeted successive-halving racing over
   the surviving finalists;
 * :mod:`~repro.tuner.profile` — versioned JSON tuning profiles for
-  warm starts;
+  warm starts, doubling as the learned prior's training store;
 * :mod:`~repro.tuner.auto` — the :class:`Autotuner` pipeline and the
   registry-facing :class:`AutoScheduler` (scheduler name ``"auto"``).
 """
@@ -26,13 +31,24 @@ from repro.tuner.auto import (
     matrix_fingerprint,
 )
 from repro.tuner.features import MatrixFeatures, extract_features
+from repro.tuner.learn import (
+    FEATURE_FIELDS,
+    MODEL_VERSION,
+    LearnedTunerModel,
+    SecondsPrediction,
+    feature_vector,
+    load_model,
+    save_model,
+)
 from repro.tuner.predict import (
     DEFAULT_CANDIDATES,
     CandidateScore,
+    LearnedPrior,
     rank_candidates,
 )
 from repro.tuner.profile import (
     PROFILE_VERSION,
+    SUPPORTED_PROFILE_VERSIONS,
     TuningProfile,
     entry_key,
     load_profile,
@@ -45,17 +61,26 @@ __all__ = [
     "Autotuner",
     "CandidateScore",
     "DEFAULT_CANDIDATES",
+    "FEATURE_FIELDS",
+    "LearnedPrior",
+    "LearnedTunerModel",
+    "MODEL_VERSION",
     "MatrixFeatures",
     "PROFILE_VERSION",
     "RaceResult",
+    "SUPPORTED_PROFILE_VERSIONS",
+    "SecondsPrediction",
     "TuningDecision",
     "TuningProfile",
     "choose_max_batch",
     "entry_key",
     "extract_features",
+    "feature_vector",
+    "load_model",
     "load_profile",
     "matrix_fingerprint",
     "rank_candidates",
+    "save_model",
     "save_profile",
     "successive_halving",
 ]

@@ -34,16 +34,21 @@ from __future__ import annotations
 
 import hashlib
 import math
+import os
 import statistics
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.exec import PlanCache, get_backend
 from repro.experiments.datasets import DatasetInstance
-from repro.experiments.runner import compiled_entry, resolve_reorder
+from repro.experiments.runner import (
+    compiled_entry,
+    resolve_reorder,
+    run_instance,
+)
 from repro.graph.dag import DAG
 from repro.machine.model import MachineModel, get_machine
 from repro.matrix.csr import CSRMatrix
@@ -51,7 +56,14 @@ from repro.scheduler.base import Scheduler
 from repro.scheduler.registry import make_scheduler
 from repro.scheduler.schedule import Schedule
 from repro.tuner.features import MatrixFeatures, extract_features
-from repro.tuner.predict import DEFAULT_CANDIDATES, rank_candidates
+from repro.tuner.learn import LearnedTunerModel, load_model
+from repro.tuner.predict import (
+    DEFAULT_CANDIDATES,
+    CandidateScore,
+    LearnedPrior,
+    clip_cores,
+    rank_candidates,
+)
 from repro.tuner.profile import TuningProfile, entry_key
 from repro.tuner.race import RaceResult, successive_halving
 
@@ -71,7 +83,22 @@ DEFAULT_MACHINE = "intel_xeon_6238t"
 
 @dataclass(frozen=True)
 class TuningDecision:
-    """The tuner's answer for one (instance, machine, cores) triple."""
+    """The tuner's answer for one (instance, machine, cores) triple.
+
+    Examples
+    --------
+    >>> from repro.experiments.datasets import DatasetInstance
+    >>> from repro.machine.model import get_machine
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> from repro.tuner import Autotuner, TuningDecision
+    >>> inst = DatasetInstance("nb", narrow_band_lower(120, 0.1, 5.0,
+    ...                                                seed=0))
+    >>> d = Autotuner(candidates=("wavefront",), mode="simulated",
+    ...               seed=0).tune(inst, get_machine("intel_xeon_6238t"),
+    ...                            n_cores=4)
+    >>> TuningDecision.from_dict(d.as_dict()) == d   # JSON round-trip
+    True
+    """
 
     instance: str
     machine: str
@@ -162,6 +189,15 @@ def choose_max_batch(features: MatrixFeatures) -> int:
     overhead on every solve, so coalescing many right-hand sides into
     one SpTRSM amortizes the most there; wide shallow profiles already
     saturate each sweep, and oversized batches only add latency.
+
+    Examples
+    --------
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> from repro.tuner import choose_max_batch, extract_features
+    >>> f = extract_features(narrow_band_lower(200, 0.1, 4.0, seed=0),
+    ...                      n_cores=4)
+    >>> choose_max_batch(f) in (16, 32, 64)
+    True
     """
     if features.avg_wavefront < 32.0:
         return 64
@@ -176,16 +212,6 @@ def _stable_seed(seed: int, name: str) -> int:
     return (int(seed) ^ int.from_bytes(digest[:4], "little")) & 0x7FFFFFFF
 
 
-def clip_cores(machine: MachineModel, n_cores: int | None) -> int:
-    """Cores a tuning run targets: the machine's full width when
-    unspecified, else capped at the machine's width — the same clipping
-    :func:`~repro.experiments.runner.run_instance` applies, so the
-    decision is made at exactly the width the run executes."""
-    if n_cores is None:
-        return machine.n_cores
-    return min(int(n_cores), machine.n_cores)
-
-
 def matrix_fingerprint(matrix: CSRMatrix) -> str:
     """Short content hash of a matrix (pattern *and* values).
 
@@ -193,6 +219,17 @@ def matrix_fingerprint(matrix: CSRMatrix) -> str:
     name standing in for a matrix must change whenever the matrix does —
     an identity- or caller-chosen name would let a cache serve plans of
     a previously seen, different matrix under the same label.
+
+    Examples
+    --------
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> from repro.tuner import matrix_fingerprint
+    >>> a = narrow_band_lower(100, 0.2, 5.0, seed=0)
+    >>> matrix_fingerprint(a) == matrix_fingerprint(a)
+    True
+    >>> b = narrow_band_lower(100, 0.2, 5.0, seed=1)
+    >>> matrix_fingerprint(a) != matrix_fingerprint(b)
+    True
     """
     h = hashlib.sha256()
     h.update(matrix.indptr.tobytes())
@@ -227,6 +264,39 @@ class Autotuner:
     backend:
         Execution backend name to tune for; ``None`` auto-selects via
         :func:`repro.exec.get_backend`.
+    prior:
+        ``"cost"`` (the default: one cost-model simulation per
+        candidate, :func:`~repro.tuner.predict.rank_candidates`) or
+        ``"learned"`` (one model inference per candidate with
+        per-candidate cost-model fallback,
+        :class:`~repro.tuner.predict.LearnedPrior`).  With an empty or
+        absent model the learned prior falls back for every candidate
+        and is bit-identical to ``"cost"``.
+    model:
+        The :class:`~repro.tuner.learn.LearnedTunerModel` behind the
+        learned prior — an instance, or a path to a model written by
+        ``repro tune --train`` / :func:`~repro.tuner.learn.save_model`.
+        Only meaningful (and only allowed) with ``prior="learned"``.
+    max_prediction_std / min_prediction_samples:
+        The learned prior's uncertainty gate (see
+        :class:`~repro.tuner.predict.LearnedPrior`).
+
+    Examples
+    --------
+    >>> from repro.experiments.datasets import DatasetInstance
+    >>> from repro.machine.model import get_machine
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> from repro.tuner import Autotuner
+    >>> inst = DatasetInstance("nb", narrow_band_lower(150, 0.1, 6.0,
+    ...                                                seed=0))
+    >>> tuner = Autotuner(candidates=("wavefront",), mode="simulated",
+    ...                   seed=0)
+    >>> decision = tuner.tune(inst, get_machine("intel_xeon_6238t"),
+    ...                       n_cores=4)
+    >>> decision.scheduler in ("wavefront", "serial")
+    True
+    >>> (decision.source, tuner.races_run)
+    ('raced', 1)
     """
 
     def __init__(
@@ -240,6 +310,10 @@ class Autotuner:
         seed: int = 0,
         mode: str = "measured",
         backend: str | None = None,
+        prior: str = "cost",
+        model: LearnedTunerModel | str | os.PathLike | None = None,
+        max_prediction_std: float = 0.75,
+        min_prediction_samples: int = 4,
     ) -> None:
         if mode not in ("measured", "simulated"):
             raise ConfigurationError(
@@ -247,6 +321,14 @@ class Autotuner:
             )
         if keep < 1:
             raise ConfigurationError("keep must be >= 1")
+        if prior not in ("cost", "learned"):
+            raise ConfigurationError(
+                f"unknown prior {prior!r}; use 'cost' or 'learned'"
+            )
+        if model is not None and prior != "learned":
+            raise ConfigurationError(
+                "a learned model requires prior='learned'"
+            )
         self.candidates = tuple(
             candidates if candidates is not None else DEFAULT_CANDIDATES
         )
@@ -257,6 +339,21 @@ class Autotuner:
         self.seed = int(seed)
         self.mode = mode
         self.backend = backend
+        self.prior = prior
+        if isinstance(model, (str, os.PathLike)):
+            model = load_model(model)
+        #: The gated learned prior (``None`` under ``prior="cost"``);
+        #: its ``n_predicted``/``n_fallback`` counters are observable
+        #: here (and surfaced by ``repro tune --json``).
+        self.learned_prior: LearnedPrior | None = (
+            LearnedPrior(
+                model,
+                max_std=max_prediction_std,
+                min_samples=min_prediction_samples,
+            )
+            if prior == "learned"
+            else None
+        )
         #: Races actually run (warm starts from a profile skip racing —
         #: observable here and asserted by tests).
         self.races_run = 0
@@ -267,6 +364,38 @@ class Autotuner:
     # ------------------------------------------------------------------
     # the tuning pipeline
     # ------------------------------------------------------------------
+    def rank_prior(
+        self,
+        inst: DatasetInstance,
+        machine: MachineModel,
+        *,
+        n_cores: int | None = None,
+        reorder: bool | None = None,
+        plan_cache: PlanCache | None = None,
+        features: MatrixFeatures | None = None,
+    ) -> list[CandidateScore]:
+        """Rank this tuner's candidate pool with its configured prior.
+
+        The single dispatch point between the cost-model prior and the
+        learned prior — :meth:`tune` and the
+        :class:`~repro.service.SolveService` auto-registration path
+        both go through it, so ``prior="learned"`` applies everywhere a
+        prior ranking is computed.
+        """
+        cache = plan_cache if plan_cache is not None else PlanCache()
+        if self.learned_prior is not None:
+            return self.learned_prior.rank(
+                inst, self.candidates, machine,
+                n_cores=n_cores, reorder=reorder,
+                expected_solves=self.expected_solves, plan_cache=cache,
+                features=features,
+            )
+        return rank_candidates(
+            inst, self.candidates, machine,
+            n_cores=n_cores, reorder=reorder,
+            expected_solves=self.expected_solves, plan_cache=cache,
+        )
+
     def tune(
         self,
         inst: DatasetInstance,
@@ -277,6 +406,7 @@ class Autotuner:
         plan_cache: PlanCache | None = None,
         profile: TuningProfile | None = None,
         prior_scores: list | None = None,
+        features: MatrixFeatures | None = None,
     ) -> TuningDecision:
         """Tune one instance; returns the decision (and records it in
         ``profile`` when one is given).
@@ -295,16 +425,22 @@ class Autotuner:
             match is returned without racing; fresh decisions are
             recorded into it.
         prior_scores:
-            Precomputed :func:`~repro.tuner.predict.rank_candidates`
-            output for exactly this (instance, machine, cores, reorder)
-            configuration.  Callers that already ranked — the solve
-            service picks a prior plan before racing — pass it here so
-            the candidate simulations run once, not twice.
+            Precomputed :meth:`rank_prior` output for exactly this
+            (instance, machine, cores, reorder) configuration.  Callers
+            that already ranked — the solve service picks a prior plan
+            before racing — pass it here so the candidate simulations
+            (or inferences) run once, not twice.
+        features:
+            Precomputed :func:`~repro.tuner.features.extract_features`
+            output for ``inst`` at this run's core count — callers that
+            already extracted (the solve service) pass it so the work
+            runs once.
         """
         if machine is None:
             machine = get_machine(DEFAULT_MACHINE)
         cores = clip_cores(machine, n_cores)
-        features = extract_features(inst, n_cores=cores)
+        if features is None:
+            features = extract_features(inst, n_cores=cores)
         key = entry_key(inst.name, machine.name, cores)
         if profile is not None:
             stored = profile.lookup(key, features)
@@ -325,14 +461,17 @@ class Autotuner:
         scores = (
             prior_scores
             if prior_scores is not None
-            else rank_candidates(
-                inst, self.candidates, machine,
-                n_cores=cores, reorder=reorder,
-                expected_solves=self.expected_solves, plan_cache=cache,
+            else self.rank_prior(
+                inst, machine,
+                n_cores=cores, reorder=reorder, plan_cache=cache,
+                features=features,
             )
         )
-        finalists = scores[: self.keep]
+        finalists = self._reprice_finalists(
+            scores[: self.keep], inst, machine, cores, reorder, cache
+        )
         by_name = {s.name: s for s in scores}
+        by_name.update({s.name: s for s in finalists})
         handicap = {
             s.name: s.scheduling_seconds / self.expected_solves
             for s in finalists
@@ -375,8 +514,126 @@ class Autotuner:
             features=features,
         )
         if profile is not None:
+            self._record_observations(
+                profile, features,
+                [by_name[s.name] for s in scores], race, reorder, cores,
+            )
             profile.record(key, decision.as_dict())
         return decision
+
+    def _reprice_finalists(
+        self,
+        finalists: list[CandidateScore],
+        inst: DatasetInstance,
+        machine: MachineModel,
+        cores: int,
+        reorder: bool | None,
+        cache: PlanCache,
+    ) -> list[CandidateScore]:
+        """Replace learned-scored finalists with genuinely priced ones.
+
+        The race settles the *decision*, so what it consumes — the
+        per-solve seconds it compares and the Eq. 7.1 scheduling
+        handicap — must be genuine, never the model's own prediction.
+        Only the ``keep`` finalists are re-priced, so the learned
+        prior's saving over simulating the whole candidate pool stands.
+
+        In simulated mode one real cost-model run replaces the whole
+        score (the race measures every finalist anyway, so this adds no
+        simulations) — every field of a simulated-mode decision is then
+        exactly what the cost prior would have produced.  In measured
+        mode the race times real solves and the handicap takes the
+        genuine scheduling cost from the compiled entry the measure
+        path builds regardless; the winner's ``predicted_*`` decision
+        fields remain prior estimates there — as they are under the
+        cost prior too — with ``measured_seconds`` carrying the ground
+        truth.
+        """
+        out = []
+        for s in finalists:
+            if s.result is not None:
+                out.append(s)
+                continue
+            scheduler = make_scheduler(s.name)
+            if self.mode == "simulated":
+                result = run_instance(
+                    inst, scheduler, machine,
+                    n_cores=cores, reorder=reorder, plan_cache=cache,
+                )
+                parallel_s = machine.cycles_to_seconds(
+                    result.parallel_cycles
+                )
+                out.append(CandidateScore(
+                    name=s.name,
+                    objective_seconds=(
+                        parallel_s
+                        + result.scheduling_seconds / self.expected_solves
+                    ),
+                    parallel_seconds=parallel_s,
+                    scheduling_seconds=result.scheduling_seconds,
+                    result=result,
+                ))
+            else:
+                entry = compiled_entry(
+                    inst, scheduler, cores,
+                    resolve_reorder(scheduler, reorder), cache,
+                )
+                out.append(replace(
+                    s,
+                    scheduling_seconds=entry.scheduling_seconds,
+                    objective_seconds=(
+                        s.parallel_seconds
+                        + entry.scheduling_seconds / self.expected_solves
+                    ),
+                ))
+        return out
+
+    def _record_observations(
+        self,
+        profile: TuningProfile,
+        features: MatrixFeatures,
+        scores: list[CandidateScore],
+        race: RaceResult,
+        reorder: bool | None,
+        cores: int,
+    ) -> None:
+        """Append this run's *genuine* seconds to the training store.
+
+        Model predictions are never fed back into the store they would
+        later be trained on.  ``scores`` already carries the re-priced
+        finalists (:meth:`_reprice_finalists`), so what qualifies:
+
+        * in simulated mode — every cost-model-priced candidate
+          (fallback scores and re-priced finalists alike);
+        * in measured mode — raced arms only, with the last raw
+          wall-clock measurement as the target and the genuine compiled
+          scheduling cost, so one profile never mixes wall-clock and
+          simulated per-solve targets.
+
+        Each record carries the effective Section 5 reorder flag — the
+        learned prior trains and predicts per (scheduler, reordered)
+        variant, so reordered and unpermuted seconds never conflate.
+        """
+        for s in scores:
+            measured = race.measurements.get(s.name)
+            if self.mode == "measured":
+                if not measured:
+                    continue
+                seconds = measured[-1]
+            elif s.result is not None:
+                seconds = s.parallel_seconds
+            else:
+                continue  # learned non-finalist: prediction, not genuine
+            reordered = (
+                s.result.reordered
+                if s.result is not None
+                else resolve_reorder(make_scheduler(s.name), reorder)
+            )
+            profile.add_observation(
+                features, s.name, seconds,
+                scheduling_seconds=s.scheduling_seconds,
+                n_cores=cores, mode=self.mode, reordered=reordered,
+            )
 
     def _admissible(
         self, decision: TuningDecision, reorder: bool | None
@@ -407,8 +664,13 @@ class Autotuner:
     # ------------------------------------------------------------------
     # measurement backends for the race
     # ------------------------------------------------------------------
-    def _make_measure(self, inst, machine, cores, reorder, cache, finalists):
+    def _make_measure(self, inst, machine, cores, reorder, cache,
+                      finalists):
         if self.mode == "simulated":
+            # every finalist carries genuine simulated seconds by now —
+            # learned-scored ones were re-priced by
+            # _reprice_finalists — so the race never runs on model
+            # predictions
             per_solve = {s.name: s.parallel_seconds for s in finalists}
 
             def measure(name: str, repeats: int, round_index: int) -> float:
@@ -479,6 +741,17 @@ class AutoScheduler(Scheduler):
 
     Decisions are memoized per (instance, machine, cores); pass a
     ``profile`` for cross-process warm starts.
+
+    Examples
+    --------
+    >>> from repro import DAG, make_scheduler
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> L = narrow_band_lower(120, 0.15, 6.0, seed=0)
+    >>> auto = make_scheduler("auto", candidates=("wavefront",),
+    ...                       mode="simulated", seed=0)
+    >>> schedule = auto.schedule(DAG.from_lower_triangular(L), 4)
+    >>> schedule.n_cores
+    4
     """
 
     name = "auto"

@@ -54,6 +54,17 @@ class MatrixFeatures:
         synchronization pressure a core-local scheduler faces.
     n_cores:
         Core count the partition-dependent features were computed for.
+
+    Examples
+    --------
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> from repro.tuner import MatrixFeatures, extract_features
+    >>> f = extract_features(narrow_band_lower(100, 0.2, 5.0, seed=0),
+    ...                      n_cores=4)
+    >>> MatrixFeatures.from_dict(f.as_dict()) == f   # JSON round-trip
+    True
+    >>> f.matches(f)
+    True
     """
 
     n: int
@@ -125,6 +136,15 @@ def extract_features(
     dag:
         Optional precomputed DAG of the matrix (avoids rebuilding it
         when the caller already has one).
+
+    Examples
+    --------
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> from repro.tuner import extract_features
+    >>> f = extract_features(narrow_band_lower(100, 0.2, 5.0, seed=0),
+    ...                      n_cores=4)
+    >>> (f.n, f.n_cores, f.n_wavefronts >= 1)
+    (100, 4, True)
     """
     matrix = getattr(inst, "lower", inst)
     if dag is None:

@@ -7,9 +7,19 @@ stage for every entry whose features still match (warm start); a matrix
 that changed structure under the same name misses the feature check and
 is re-tuned rather than served a stale decision.
 
-The file format is versioned: loading a profile written by an
-incompatible version raises :class:`~repro.errors.ConfigurationError`
-instead of silently misinterpreting fields.
+Since format v2 a profile is also the tuner's **training store**: every
+cold tuning run appends ``(features, scheduler, seconds)`` observation
+records (:meth:`TuningProfile.add_observation`), and
+:meth:`~repro.tuner.learn.LearnedTunerModel.fit` trains the learned
+prior from them (``repro tune --train``).  Warm starts append nothing —
+only actually simulated or measured seconds enter the store, never the
+learned model's own predictions.
+
+The file format is versioned: v1 files (written before the training
+store existed) load with an empty observation list and are upgraded to
+the current version on the next save; files from an *unknown* version
+raise :class:`~repro.errors.ConfigurationError` instead of silently
+misinterpreting fields.
 """
 
 from __future__ import annotations
@@ -22,7 +32,9 @@ from repro.errors import ConfigurationError
 from repro.tuner.features import MatrixFeatures
 
 __all__ = [
+    "MAX_OBSERVATIONS",
     "PROFILE_VERSION",
+    "SUPPORTED_PROFILE_VERSIONS",
     "TuningProfile",
     "entry_key",
     "load_profile",
@@ -30,11 +42,27 @@ __all__ = [
 ]
 
 #: Format version of persisted profiles; bump on incompatible changes.
-PROFILE_VERSION = 1
+PROFILE_VERSION = 2
+
+#: Versions :func:`load_profile` understands.  v1 (PR 3, decisions only)
+#: migrates in place: entries load unchanged, the observation store
+#: starts empty.
+SUPPORTED_PROFILE_VERSIONS = (1, 2)
+
+#: Bound on stored observations; the oldest records are dropped first
+#: (a long-lived fleet profile keeps its most recent measurements).
+MAX_OBSERVATIONS = 50_000
 
 
 def entry_key(instance: str, machine: str, n_cores: int) -> str:
-    """The profile key of one (instance, machine, cores) decision."""
+    """The profile key of one (instance, machine, cores) decision.
+
+    Examples
+    --------
+    >>> from repro.tuner import entry_key
+    >>> entry_key("torso3", "intel_xeon_6238t", 8)
+    'torso3::intel_xeon_6238t::8'
+    """
     return f"{instance}::{machine}::{int(n_cores)}"
 
 
@@ -45,11 +73,22 @@ class TuningProfile:
     ``entries`` maps :func:`entry_key` strings to plain-dict decision
     records (the :meth:`~repro.tuner.auto.TuningDecision.as_dict` form,
     including the ``features`` sub-dict used for warm-start validation).
+    ``observations`` is the training store: a list of plain-dict
+    ``(features, scheduler, seconds)`` records the learned prior is
+    trained from.
+
+    Examples
+    --------
+    >>> from repro.tuner import TuningProfile
+    >>> profile = TuningProfile(machine="intel_xeon_6238t")
+    >>> (len(profile), profile.n_observations)
+    (0, 0)
     """
 
     machine: str = ""
     version: int = PROFILE_VERSION
     entries: dict[str, dict] = field(default_factory=dict)
+    observations: list[dict] = field(default_factory=list)
 
     def lookup(
         self, key: str, features: MatrixFeatures
@@ -71,19 +110,73 @@ class TuningProfile:
         """Insert or replace the decision stored under ``key``."""
         self.entries[key] = decision
 
+    def add_observation(
+        self,
+        features: MatrixFeatures,
+        scheduler: str,
+        seconds: float,
+        *,
+        scheduling_seconds: float = 0.0,
+        n_cores: int = 0,
+        mode: str = "",
+        reordered: bool = False,
+    ) -> None:
+        """Append one training record to the observation store.
+
+        ``seconds`` is the per-solve time of ``scheduler`` on a matrix
+        with ``features`` — cost-model simulated or wall-clock measured
+        (``mode`` records which); ``reordered`` is the effective
+        Section 5 reorder flag the seconds were obtained under (the
+        learned prior keeps the two variants apart).  The store is
+        bounded at :data:`MAX_OBSERVATIONS`; the oldest records fall
+        off first.
+        """
+        self.observations.append({
+            "features": features.as_dict(),
+            "scheduler": str(scheduler),
+            "seconds": float(seconds),
+            "scheduling_seconds": float(scheduling_seconds),
+            "n_cores": int(n_cores),
+            "mode": str(mode),
+            "reordered": bool(reordered),
+        })
+        if len(self.observations) > MAX_OBSERVATIONS:
+            del self.observations[: len(self.observations)
+                                  - MAX_OBSERVATIONS]
+
+    @property
+    def n_observations(self) -> int:
+        """Training records currently stored."""
+        return len(self.observations)
+
     def __len__(self) -> int:
         return len(self.entries)
 
     def as_dict(self) -> dict:
         return {
-            "version": self.version,
+            "version": PROFILE_VERSION,
             "machine": self.machine,
             "entries": self.entries,
+            "observations": self.observations,
         }
 
 
 def save_profile(profile: TuningProfile, path: str | os.PathLike) -> None:
-    """Write ``profile`` as JSON (stable key order, human-diffable)."""
+    """Write ``profile`` as JSON (stable key order, human-diffable).
+
+    Always writes the current :data:`PROFILE_VERSION` — saving a
+    profile loaded from a v1 file upgrades it in place.
+
+    Examples
+    --------
+    >>> import tempfile, os.path
+    >>> from repro.tuner import TuningProfile, load_profile, save_profile
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     path = os.path.join(tmp, "profile.json")
+    ...     save_profile(TuningProfile(machine="m"), path)
+    ...     load_profile(path).machine
+    'm'
+    """
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(profile.as_dict(), fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -92,8 +185,10 @@ def save_profile(profile: TuningProfile, path: str | os.PathLike) -> None:
 def load_profile(path: str | os.PathLike) -> TuningProfile:
     """Load a profile written by :func:`save_profile`.
 
-    Raises :class:`~repro.errors.ConfigurationError` on a version
-    mismatch or a structurally invalid file.
+    Understands every version in :data:`SUPPORTED_PROFILE_VERSIONS`
+    (v1 files load with an empty observation store).  Raises
+    :class:`~repro.errors.ConfigurationError` on an unknown version or
+    a structurally invalid file.
     """
     with open(path, "r", encoding="utf-8") as fh:
         try:
@@ -106,18 +201,26 @@ def load_profile(path: str | os.PathLike) -> TuningProfile:
         raise ConfigurationError(
             f"tuning profile {path!s} has no version field"
         )
-    if data["version"] != PROFILE_VERSION:
+    if data["version"] not in SUPPORTED_PROFILE_VERSIONS:
         raise ConfigurationError(
             f"tuning profile {path!s} has version {data['version']!r}; "
-            f"this build reads version {PROFILE_VERSION}"
+            f"this build reads versions {SUPPORTED_PROFILE_VERSIONS}"
         )
     entries = data.get("entries", {})
     if not isinstance(entries, dict):
         raise ConfigurationError(
             f"tuning profile {path!s}: entries must be an object"
         )
+    observations = data.get("observations", [])
+    if not isinstance(observations, list):
+        raise ConfigurationError(
+            f"tuning profile {path!s}: observations must be an array"
+        )
     return TuningProfile(
         machine=str(data.get("machine", "")),
+        # the version the *file* was written with (observable by
+        # callers); save_profile always writes the current version
         version=int(data["version"]),
         entries=entries,
+        observations=observations,
     )

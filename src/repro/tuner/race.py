@@ -100,6 +100,18 @@ def successive_halving(
     handicap:
         Optional per-arm seconds added to every measured score (the
         amortized scheduling cost, Eq. 7.1).  Missing arms get 0.
+
+    Examples
+    --------
+    >>> from repro.tuner import successive_halving
+    >>> times = {"a": 3.0, "b": 1.0, "c": 2.0}
+    >>> race = successive_halving(
+    ...     ["a", "b", "c"], lambda arm, repeats, rnd: times[arm],
+    ...     budget_seconds=1e9)
+    >>> race.winner
+    'b'
+    >>> race.exhausted
+    False
     """
     arms = list(dict.fromkeys(arms))
     if not arms:

@@ -185,3 +185,110 @@ def test_tune_rejects_auto_as_candidate(capsys):
     assert main(["tune", "--dataset", "narrow_band", "--limit", "1",
                  "--schedulers", "auto"]) == 2
     assert "candidate" in capsys.readouterr().err
+
+
+def test_tune_train_writes_model_and_warm_learned_run(tmp_path, capsys):
+    import json
+
+    profile = str(tmp_path / "profile.json")
+    model = str(tmp_path / "model.json")
+    args = ["tune", "--dataset", "narrow_band", "--limit", "2",
+            "--schedulers", "growlocal,hdagg", "--mode", "simulated",
+            "--seed", "0", "--cores", "8"]
+
+    # cold run: races, writes profile incl. training observations
+    assert main([*args, "--output", profile, "--json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["prior"] == "cost"
+    # (growlocal, hdagg, serial) observed on each of the 2 instances
+    assert cold["n_observations"] == 6
+    picked = [d["scheduler"] for d in cold["decisions"]]
+
+    # --train: warm-runs against the profile, fits + writes the model
+    assert main([*args, "--profile", profile, "--train",
+                 "--model", model, "--json"]) == 0
+    trained = json.loads(capsys.readouterr().out)
+    assert trained["races_run"] == 0 and trained["warm_starts"] == 2
+    assert set(trained["trained"]["schedulers"]) == {
+        "growlocal", "hdagg", "serial"
+    }
+
+    # --model implies the learned prior; the profile still warm-starts
+    assert main([*args, "--profile", profile, "--model", model,
+                 "--json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["prior"] == "learned"
+    assert warm["races_run"] == 0
+    assert [d["scheduler"] for d in warm["decisions"]] == picked
+
+    # without the profile the learned prior actually predicts (the
+    # tiny store clears a min-samples gate of 1)
+    assert main([*args, "--model", model, "--min-samples", "1",
+                 "--max-std", "100", "--json"]) == 0
+    learned = json.loads(capsys.readouterr().out)
+    assert learned["prior"] == "learned"
+    assert learned["learned_prior"]["n_predicted"] > 0
+
+
+def test_tune_train_requires_model_path(capsys):
+    assert main(["tune", "--dataset", "narrow_band", "--limit", "1",
+                 "--train"]) == 2
+    assert "--model" in capsys.readouterr().err
+
+
+def test_tune_model_with_cost_prior_rejected(tmp_path, capsys):
+    model = tmp_path / "model.json"
+    model.write_text("{}")
+    assert main(["tune", "--dataset", "narrow_band", "--limit", "1",
+                 "--prior", "cost", "--model", str(model)]) == 2
+    assert "learned" in capsys.readouterr().err
+
+
+def test_tune_train_with_prior_learned_ranks_with_existing_model(
+    tmp_path, capsys
+):
+    import json
+
+    profile = str(tmp_path / "profile.json")
+    model = str(tmp_path / "model.json")
+    args = ["tune", "--dataset", "narrow_band", "--limit", "2",
+            "--schedulers", "growlocal,hdagg", "--mode", "simulated",
+            "--seed", "0", "--cores", "8"]
+    assert main([*args, "--output", profile]) == 0
+    assert main([*args, "--profile", profile, "--train",
+                 "--model", model]) == 0
+    capsys.readouterr()
+
+    # --prior learned --train with an existing model: the model ranks
+    # the run (no profile -> the prior actually fires), then refreshes
+    assert main([*args, "--prior", "learned", "--train",
+                 "--model", model, "--min-samples", "2",
+                 "--max-std", "100", "--json"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["prior"] == "learned"
+    assert out["learned_prior"]["n_predicted"] > 0
+    assert out["trained"]["schedulers"]  # refreshed model written
+
+
+def test_tune_train_refuses_to_overwrite_model_with_empty_fit(
+    tmp_path, capsys
+):
+    import json
+
+    model = str(tmp_path / "model.json")
+    args = ["tune", "--dataset", "narrow_band",
+            "--schedulers", "growlocal,hdagg", "--mode", "simulated",
+            "--seed", "0", "--cores", "8"]
+    # a real model from two instances
+    assert main([*args, "--limit", "2", "--train", "--model",
+                 model]) == 0
+    before = json.loads(open(model).read())
+    assert before["models"]
+    capsys.readouterr()
+
+    # one instance -> one observation per variant -> empty fit: the
+    # existing model must survive, with a clear error
+    assert main([*args, "--limit", "1", "--train", "--model",
+                 model]) == 2
+    assert "refusing to overwrite" in capsys.readouterr().err
+    assert json.loads(open(model).read()) == before

@@ -57,6 +57,13 @@ def test_forward_backward_ilu():
     assert "scheduled == serial" in out
 
 
+def test_autotune_learned():
+    out = _run("autotune_learned.py")
+    assert "training observations" in out
+    assert "warm pass: 0 races" in out
+    assert "priced by inference" in out
+
+
 @pytest.mark.slow
 def test_scheduler_comparison():
     out = _run("scheduler_comparison.py", timeout=900)

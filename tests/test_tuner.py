@@ -26,11 +26,15 @@ from repro.scheduler.registry import available_schedulers, make_scheduler
 from repro.service import SolveService
 from repro.tuner import (
     Autotuner,
+    LearnedPrior,
+    LearnedTunerModel,
     MatrixFeatures,
     TuningDecision,
     TuningProfile,
     extract_features,
+    load_model,
     load_profile,
+    save_model,
     save_profile,
     successive_halving,
 )
@@ -662,3 +666,525 @@ class TestReviewRegressions:
         assert decision.scheduler == good.scheduler
         # the repaired entry is written back complete
         assert profile.entries[key]["scheduler"] == good.scheduler
+
+
+# ---------------------------------------------------------------------------
+# the learned prior (training store, ridge ensemble, uncertainty gate)
+# ---------------------------------------------------------------------------
+class TestLearnedPrior:
+    """The regression-backed prior: trained on profile observations,
+    uncertainty-gated, bit-identical to the cost model when untrained."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        insts = []
+        for i in range(6):
+            if i % 2 == 0:
+                insts.append(DatasetInstance(
+                    f"learn_nb{i}",
+                    narrow_band_lower(300 + 60 * i, 0.08, 6.0 + i,
+                                      seed=100 + i),
+                ))
+            else:
+                insts.append(DatasetInstance(
+                    f"learn_er{i}",
+                    erdos_renyi_lower(300 + 60 * i, 0.01, seed=100 + i),
+                ))
+        return insts
+
+    @pytest.fixture(scope="class")
+    def trained(self, corpus, machine):
+        """Profile + model from one cold simulated tuning pass."""
+        cache = PlanCache()
+        profile = TuningProfile(machine=machine.name)
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0)
+        for inst in corpus:
+            tuner.tune(inst, machine, n_cores=N_CORES, plan_cache=cache,
+                       profile=profile)
+        return profile, LearnedTunerModel.fit(profile.observations)
+
+    def test_cold_runs_accumulate_observations(self, trained, corpus):
+        profile, model = trained
+        # every scored candidate (pool + serial) of every instance
+        assert profile.n_observations == len(corpus) * (len(CANDIDATES) + 1)
+        assert set(model.schedulers) == set(CANDIDATES) | {"serial"}
+        for name in model.schedulers:
+            assert model.n_samples(name) == len(corpus)
+
+    def test_warm_starts_append_nothing(self, corpus, machine, trained):
+        profile, _ = trained
+        before = profile.n_observations
+        warm = Autotuner(candidates=CANDIDATES, mode="simulated",
+                         expected_solves=1e15, seed=0)
+        decision = warm.tune(corpus[0], machine, n_cores=N_CORES,
+                             profile=profile)
+        assert decision.source == "profile"
+        assert profile.n_observations == before
+
+    def test_empty_store_is_bit_identical_to_cost_prior(
+        self, corpus, machine
+    ):
+        """Acceptance: an untrained learned prior must degrade
+        bit-identically to the PR 3 cost-model prior."""
+        cache = PlanCache()
+        cost = Autotuner(candidates=CANDIDATES, mode="simulated",
+                         expected_solves=1e15, seed=0)
+        learned = Autotuner(candidates=CANDIDATES, mode="simulated",
+                            expected_solves=1e15, seed=0,
+                            prior="learned")
+        a = [cost.tune(i, machine, n_cores=N_CORES, plan_cache=cache)
+             for i in corpus]
+        b = [learned.tune(i, machine, n_cores=N_CORES, plan_cache=cache)
+             for i in corpus]
+        assert [d.as_dict() for d in a] == [d.as_dict() for d in b]
+        assert learned.learned_prior.n_predicted == 0
+        assert learned.learned_prior.n_fallback == len(corpus) * (
+            len(CANDIDATES) + 1
+        )
+
+    def test_learned_rank_is_deterministic(self, corpus, machine, trained):
+        _, model = trained
+        prior = LearnedPrior(model, min_samples=3, max_std=5.0)
+        cache = PlanCache()
+        first = prior.rank(corpus[0], CANDIDATES, machine,
+                           n_cores=N_CORES, plan_cache=cache,
+                           expected_solves=1e15)
+        second = prior.rank(corpus[0], CANDIDATES, machine,
+                            n_cores=N_CORES, plan_cache=cache,
+                            expected_solves=1e15)
+        assert [(s.name, s.objective_seconds, s.source) for s in first] \
+            == [(s.name, s.objective_seconds, s.source) for s in second]
+
+    def test_gate_min_samples_forces_fallback(self, corpus, machine,
+                                              trained):
+        _, model = trained
+        prior = LearnedPrior(model, min_samples=len(corpus) + 1)
+        scores = prior.rank(corpus[0], CANDIDATES, machine,
+                            n_cores=N_CORES, expected_solves=1e15)
+        assert all(s.source == "cost_model" for s in scores)
+        assert prior.n_predicted == 0
+
+    def test_gate_max_std_forces_fallback(self, corpus, machine, trained):
+        _, model = trained
+        prior = LearnedPrior(model, min_samples=3, max_std=0.0)
+        scores = prior.rank(corpus[0], CANDIDATES, machine,
+                            n_cores=N_CORES, expected_solves=1e15)
+        assert all(s.source == "cost_model" for s in scores)
+
+    def test_confident_model_ranks_without_simulation(
+        self, corpus, machine, trained
+    ):
+        """A fully admitted ranking touches no plan cache at all —
+        pure inference."""
+        _, model = trained
+        prior = LearnedPrior(model, min_samples=3, max_std=10.0)
+        cache = PlanCache()
+        features = extract_features(corpus[0], n_cores=N_CORES)
+        scores = prior.rank(corpus[0], CANDIDATES, machine,
+                            n_cores=N_CORES, plan_cache=cache,
+                            features=features, expected_solves=1e15)
+        assert cache.hits == 0 and cache.misses == 0
+        assert all(s.source == "learned" for s in scores)
+        assert prior.n_fallback == 0
+        # learned scores still expose the CandidateScore surface
+        for s in scores:
+            assert s.result is None
+            assert s.speedup > 0
+            assert s.std_log is not None
+
+    def test_learned_tuner_matches_cost_tuner_on_trained_corpus(
+        self, corpus, machine, trained
+    ):
+        """Acceptance: with the simulated race re-pricing finalists,
+        the learned tuner's picks match the cost tuner's at least as
+        often as not — here exactly, on the training corpus."""
+        _, model = trained
+        cache = PlanCache()
+        cost = Autotuner(candidates=CANDIDATES, mode="simulated",
+                         expected_solves=1e15, seed=0)
+        learned = Autotuner(candidates=CANDIDATES, mode="simulated",
+                            expected_solves=1e15, seed=0,
+                            prior="learned", model=model,
+                            min_prediction_samples=3,
+                            max_prediction_std=5.0)
+        cost_picks = [cost.tune(i, machine, n_cores=N_CORES,
+                                plan_cache=cache).scheduler
+                      for i in corpus]
+        learned_picks = [learned.tune(i, machine, n_cores=N_CORES,
+                                      plan_cache=cache).scheduler
+                         for i in corpus]
+        assert learned_picks == cost_picks
+        assert learned.learned_prior.n_predicted > 0
+
+    def test_simulated_race_reprices_learned_finalists(
+        self, corpus, machine, trained
+    ):
+        """The race that settles the decision must run on genuine
+        cost-model seconds, never on the model's own predictions."""
+        _, model = trained
+        inst = corpus[0]
+        learned = Autotuner(candidates=CANDIDATES, mode="simulated",
+                            expected_solves=1e15, seed=0,
+                            prior="learned", model=model,
+                            min_prediction_samples=3,
+                            max_prediction_std=5.0)
+        cache = PlanCache()
+        decision = learned.tune(inst, machine, n_cores=N_CORES,
+                                plan_cache=cache)
+        race = learned.last_race
+        # every raced arm's measurement equals its true simulated
+        # seconds (the cost prior's numbers), not a prediction
+        truth = {
+            s.name: s.parallel_seconds
+            for s in rank_candidates(inst, CANDIDATES, machine,
+                                     n_cores=N_CORES, plan_cache=cache,
+                                     expected_solves=1e15)
+        }
+        for name, values in race.measurements.items():
+            assert values[-1] == pytest.approx(truth[name], rel=1e-12)
+        assert decision.scheduler in truth
+
+    def test_repriced_observations_are_genuine(self, corpus, machine,
+                                               trained):
+        """Observations written during a learned-prior tune carry real
+        simulated seconds, not model output."""
+        _, model = trained
+        inst = corpus[1]
+        learned = Autotuner(candidates=CANDIDATES, mode="simulated",
+                            expected_solves=1e15, seed=0,
+                            prior="learned", model=model,
+                            min_prediction_samples=3,
+                            max_prediction_std=5.0)
+        cache = PlanCache()
+        profile = TuningProfile(machine=machine.name)
+        learned.tune(inst, machine, n_cores=N_CORES, plan_cache=cache,
+                     profile=profile)
+        truth = {
+            s.name: s.parallel_seconds
+            for s in rank_candidates(inst, CANDIDATES, machine,
+                                     n_cores=N_CORES, plan_cache=cache,
+                                     expected_solves=1e15)
+        }
+        assert profile.n_observations > 0
+        for obs in profile.observations:
+            assert obs["seconds"] == pytest.approx(
+                truth[obs["scheduler"]], rel=1e-12
+            )
+
+    def test_model_save_load_roundtrip(self, corpus, machine, trained,
+                                       tmp_path):
+        _, model = trained
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        back = load_model(path)
+        features = extract_features(corpus[0], n_cores=N_CORES)
+        compared = 0
+        for name in model.schedulers:
+            for reordered in (False, True):
+                a = model.predict(features, name, reordered=reordered)
+                b = back.predict(features, name, reordered=reordered)
+                if a is None:
+                    assert b is None
+                    continue
+                compared += 1
+                assert b.parallel_seconds == pytest.approx(
+                    a.parallel_seconds, rel=1e-12
+                )
+                assert b.std_log == pytest.approx(a.std_log, rel=1e-12)
+                assert b.n_samples == a.n_samples
+        assert compared >= len(model.schedulers)
+
+    def test_model_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text('{"version": 999, "models": {}}')
+        with pytest.raises(ConfigurationError):
+            load_model(path)
+
+    def test_model_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("not json")
+        with pytest.raises(ConfigurationError):
+            load_model(path)
+
+    def test_model_with_cost_prior_is_rejected(self, trained):
+        _, model = trained
+        with pytest.raises(ConfigurationError):
+            Autotuner(prior="cost", model=model)
+        with pytest.raises(ConfigurationError):
+            Autotuner(prior="nope")
+
+    def test_fit_skips_malformed_observations(self, trained):
+        profile, _ = trained
+        noisy = [*profile.observations,
+                 {"scheduler": "growlocal"},          # no features
+                 {"features": {}, "scheduler": "x", "seconds": "nan"},
+                 {"features": profile.observations[0]["features"],
+                  "scheduler": "growlocal", "seconds": float("inf")}]
+        model = LearnedTunerModel.fit(noisy)
+        assert set(model.schedulers) == set(CANDIDATES) | {"serial"}
+
+    def test_service_auto_with_learned_prior_stays_bit_equal(
+        self, machine, trained
+    ):
+        """SolveService(schedule='auto') under a learned-prior tuner:
+        solves stay bit-equal to the installed plan."""
+        _, model = trained
+        lower = narrow_band_lower(400, 0.1, 10.0, seed=41)
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0,
+                          prior="learned", model=model,
+                          min_prediction_samples=3,
+                          max_prediction_std=5.0)
+        with SolveService() as svc:
+            plan = svc.register("sys", lower, schedule="auto",
+                                tuner=tuner, machine=machine,
+                                n_cores=N_CORES)
+            rng = np.random.default_rng(1)
+            b = rng.standard_normal(lower.n)
+            x = svc.solve("sys", b)
+            assert np.array_equal(x, get_backend().solve(plan, b))
+            assert svc.stats("sys").tuned_scheduler in (*CANDIDATES,
+                                                        "serial")
+
+
+# ---------------------------------------------------------------------------
+# profile schema migration (v1 -> v2 training store)
+# ---------------------------------------------------------------------------
+class TestProfileMigration:
+    def _cold_profile(self, inst, machine):
+        profile = TuningProfile(machine=machine.name)
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          expected_solves=1e15, seed=0)
+        decision = tuner.tune(inst, machine, n_cores=N_CORES,
+                              profile=profile)
+        return profile, decision
+
+    def test_v1_profile_still_warm_starts(self, small_inst, machine,
+                                          tmp_path):
+        """A profile written by PR 3 (version 1, no observation store)
+        must warm-start unchanged after the training-store extension."""
+        import json
+
+        profile, decision = self._cold_profile(small_inst, machine)
+        v1_path = tmp_path / "v1.json"
+        # exactly what PR 3's save_profile wrote: version 1, no
+        # observations key at all
+        v1_path.write_text(json.dumps({
+            "version": 1,
+            "machine": machine.name,
+            "entries": profile.entries,
+        }, indent=2, sort_keys=True))
+
+        loaded = load_profile(v1_path)
+        assert loaded.n_observations == 0
+        warm_tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                               expected_solves=1e15, seed=0)
+        warm = warm_tuner.tune(small_inst, machine, n_cores=N_CORES,
+                               profile=loaded)
+        assert warm.source == "profile"
+        assert warm.scheduler == decision.scheduler
+        assert warm_tuner.races_run == 0
+
+    def test_v1_round_trips_to_v2(self, small_inst, machine, tmp_path):
+        """Loading v1 and saving upgrades the file to the current
+        version with an (empty, then growing) observation store."""
+        import json
+
+        profile, decision = self._cold_profile(small_inst, machine)
+        v1_path = tmp_path / "v1.json"
+        v1_path.write_text(json.dumps({
+            "version": 1,
+            "machine": machine.name,
+            "entries": profile.entries,
+        }))
+        loaded = load_profile(v1_path)
+
+        v2_path = tmp_path / "v2.json"
+        save_profile(loaded, v2_path)
+        data = json.loads(v2_path.read_text())
+        assert data["version"] == 2
+        assert data["observations"] == []
+
+        reloaded = load_profile(v2_path)
+        warm_tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                               expected_solves=1e15, seed=0)
+        warm = warm_tuner.tune(small_inst, machine, n_cores=N_CORES,
+                               profile=reloaded)
+        assert warm.source == "profile"
+        assert warm.scheduler == decision.scheduler
+
+    def test_unknown_version_still_raises(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"version": 3, "entries": {}}')
+        with pytest.raises(ConfigurationError):
+            load_profile(path)
+
+    def test_observation_store_is_bounded(self, small_inst):
+        from repro.tuner import profile as profile_mod
+
+        features = extract_features(small_inst, n_cores=N_CORES)
+        p = TuningProfile()
+        cap = profile_mod.MAX_OBSERVATIONS
+        p.observations = [{"features": features.as_dict(),
+                           "scheduler": "serial", "seconds": 1.0}
+                          ] * cap
+        p.add_observation(features, "growlocal", 2.0)
+        assert p.n_observations == cap
+        assert p.observations[-1]["scheduler"] == "growlocal"
+
+
+class TestLearnedPriorReviewRegressions:
+    """Pins for defects found in review of the learned-prior
+    integration."""
+
+    def _trained_on(self, insts, machine, **tune_kwargs):
+        cache = PlanCache()
+        profile = TuningProfile(machine=machine.name)
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          seed=0, **tune_kwargs)
+        for inst in insts:
+            tuner.tune(inst, machine, n_cores=N_CORES, plan_cache=cache,
+                       profile=profile)
+        return profile, LearnedTunerModel.fit(profile.observations)
+
+    def test_race_handicap_uses_genuine_scheduling_seconds(
+        self, machine
+    ):
+        """With a small expected_solves the Eq. 7.1 handicap matters;
+        it must come from genuine scheduling costs, never the model's
+        scheduling-seconds prediction — the learned tuner's decision
+        equals the cost tuner's bit for bit."""
+        insts = [
+            DatasetInstance(f"hc{i}",
+                            narrow_band_lower(300 + 50 * i, 0.1,
+                                              6.0 + i, seed=200 + i))
+            for i in range(5)
+        ]
+        profile, model = self._trained_on(insts, machine,
+                                          expected_solves=2.0)
+        cache = PlanCache()
+        cost = Autotuner(candidates=CANDIDATES, mode="simulated",
+                         expected_solves=2.0, seed=0)
+        learned = Autotuner(candidates=CANDIDATES, mode="simulated",
+                            expected_solves=2.0, seed=0,
+                            prior="learned", model=model,
+                            min_prediction_samples=2,
+                            max_prediction_std=50.0)
+        for inst in insts:
+            a = cost.tune(inst, machine, n_cores=N_CORES,
+                          plan_cache=cache)
+            b = learned.tune(inst, machine, n_cores=N_CORES,
+                             plan_cache=cache)
+            # identical decision dicts: scheduler, objective, speedup,
+            # amortization — all genuine, none predicted
+            assert b.as_dict() == a.as_dict()
+        assert learned.learned_prior.n_predicted > 0
+
+    def test_observations_record_the_reorder_flag(self, machine):
+        """Training records carry the effective Section 5 flag, and the
+        model keeps the two variants apart."""
+        inst = DatasetInstance("ro", narrow_band_lower(400, 0.1, 8.0,
+                                                       seed=77))
+        profile = TuningProfile(machine=machine.name)
+        tuner = Autotuner(candidates=("growlocal",), mode="simulated",
+                          expected_solves=1e15, seed=0)
+        # reorder=None: the paper default — growlocal reorders, the
+        # serial baseline does not
+        tuner.tune(inst, machine, n_cores=N_CORES, profile=profile)
+        by_sched = {o["scheduler"]: o for o in profile.observations}
+        assert by_sched["growlocal"]["reordered"] is True
+        assert by_sched["serial"]["reordered"] is False
+
+        model = LearnedTunerModel.fit(
+            profile.observations * 3  # clear the fit minimum
+        )
+        features = extract_features(inst, n_cores=N_CORES)
+        x = None
+        from repro.tuner import feature_vector
+        x = feature_vector(features)
+        # only the observed variant has a model
+        assert model.predict_from_vector(
+            x, "growlocal", reordered=True) is not None
+        assert model.predict_from_vector(
+            x, "growlocal", reordered=False) is None
+        assert model.n_samples("growlocal") == 3
+        assert model.n_samples("growlocal", reordered=False) == 0
+
+    def test_loaded_profile_preserves_file_version(self, small_inst,
+                                                   machine, tmp_path):
+        import json
+
+        profile = TuningProfile(machine=machine.name)
+        tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                          seed=0)
+        tuner.tune(small_inst, machine, n_cores=N_CORES,
+                   profile=profile)
+        v1 = tmp_path / "v1.json"
+        v1.write_text(json.dumps({"version": 1,
+                                  "machine": machine.name,
+                                  "entries": profile.entries}))
+        assert load_profile(v1).version == 1
+        v2 = tmp_path / "v2.json"
+        save_profile(load_profile(v1), v2)
+        assert load_profile(v2).version == 2
+
+    def test_fit_filters_to_one_measurement_mode(self, small_inst):
+        """Simulated and wall-clock seconds must never pool into one
+        regressor: fit trains on one mode (explicit, or majority)."""
+        features = extract_features(small_inst, n_cores=N_CORES)
+        obs = []
+        for i in range(4):
+            obs.append({"features": features.as_dict(),
+                        "scheduler": "growlocal", "seconds": 1.0 + i,
+                        "mode": "simulated"})
+        for i in range(2):
+            obs.append({"features": features.as_dict(),
+                        "scheduler": "growlocal", "seconds": 100.0 + i,
+                        "mode": "measured"})
+        # majority mode (simulated) wins by default
+        auto_fit = LearnedTunerModel.fit(obs)
+        assert auto_fit.n_samples("growlocal") == 4
+        # explicit mode overrides
+        measured = LearnedTunerModel.fit(obs, mode="measured")
+        assert measured.n_samples("growlocal") == 2
+        # tie -> measured (ground truth) wins
+        tied = LearnedTunerModel.fit(obs[:2] + obs[4:])
+        assert tied.n_samples("growlocal") == 2
+
+    def test_measured_trained_model_never_mixes_with_simulated_fallback(
+        self, small_inst, machine
+    ):
+        """A model trained on wall-clock seconds must not be ranked
+        against simulated fallback scores in one objective: partial
+        admission falls back entirely; full admission stays learned."""
+        features = extract_features(small_inst, n_cores=N_CORES)
+        def obs(scheduler, seconds):
+            return {"features": features.as_dict(),
+                    "scheduler": scheduler, "seconds": seconds,
+                    "mode": "measured"}
+
+        # models for only part of the pool -> partial admission
+        partial = LearnedTunerModel.fit(
+            [obs("growlocal", 1.0 + i * 0.1) for i in range(4)]
+        )
+        assert partial.mode == "measured"
+        prior = LearnedPrior(partial, min_samples=2, max_std=100.0)
+        scores = prior.rank(small_inst, CANDIDATES, machine,
+                            n_cores=N_CORES, reorder=False,
+                            expected_solves=1e15)
+        assert all(s.source == "cost_model" for s in scores)
+        assert prior.n_predicted == 0
+
+        # models for the whole pool (+ serial) -> pure wall-clock
+        # ranking, fully learned
+        full = LearnedTunerModel.fit(
+            [obs(name, 1.0 + i * 0.1)
+             for name in (*CANDIDATES, "serial") for i in range(4)]
+        )
+        prior_full = LearnedPrior(full, min_samples=2, max_std=100.0)
+        scores = prior_full.rank(small_inst, CANDIDATES, machine,
+                                 n_cores=N_CORES, reorder=False,
+                                 expected_solves=1e15)
+        assert all(s.source == "learned" for s in scores)
+        assert prior_full.n_fallback == 0

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Check relative links and anchors in the repo's Markdown docs.
+
+Scans the given Markdown files (default: ``README.md`` and
+``docs/*.md``) for inline links ``[text](target)`` and verifies that
+
+* relative file targets exist (resolved against the linking file's
+  directory),
+* anchor targets (``#section`` or ``file.md#section``) resolve to a
+  heading in the target file, using GitHub's slugging rules
+  (lowercase, punctuation stripped, spaces to dashes),
+
+and exits non-zero listing every broken link.  External links
+(``http://``, ``https://``, ``mailto:``) are not fetched — CI must not
+depend on the network.  No third-party dependencies.
+
+Usage::
+
+    python tools/check_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links; images share the syntax (leading ``!``).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def display(path: Path) -> str:
+    """Repo-relative path when possible, absolute otherwise."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug of a heading line."""
+    # inline code/links render as their text before slugging
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def markdown_lines_outside_fences(path: Path) -> list[tuple[int, str]]:
+    """(line number, line) pairs with fenced code blocks blanked out."""
+    out = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8")
+                                  .splitlines(), start=1):
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append((lineno, line))
+    return out
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs a Markdown file exposes (GitHub de-dup rule:
+    repeated slugs get ``-1``, ``-2``... suffixes)."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for _, line in markdown_lines_outside_fences(path):
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one Markdown file."""
+    problems = []
+    for lineno, line in markdown_lines_outside_fences(path):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            where = f"{display(path)}:{lineno}"
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                dest = (path.parent / file_part).resolve()
+                if not dest.exists():
+                    problems.append(
+                        f"{where}: missing file target {target!r}"
+                    )
+                    continue
+            else:
+                dest = path
+            if anchor:
+                if dest.suffix.lower() not in (".md", ".markdown"):
+                    continue  # anchors into non-Markdown: not checked
+                if anchor.lower() not in heading_slugs(dest):
+                    problems.append(
+                        f"{where}: anchor #{anchor} not found in "
+                        f"{display(dest)}"
+                    )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = [REPO_ROOT / "README.md",
+                 *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 2
+    problems = []
+    for f in files:
+        problems.extend(check_file(f))
+    for p in problems:
+        print(p, file=sys.stderr)
+    checked = ", ".join(display(f) for f in files)
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked}",
+              file=sys.stderr)
+        return 1
+    print(f"links ok: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
