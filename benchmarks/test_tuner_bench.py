@@ -32,6 +32,7 @@ from repro.experiments.tables import format_table
 from repro.machine.model import get_machine
 from repro.matrix.generators import erdos_renyi_lower, narrow_band_lower
 from repro.scheduler.registry import make_scheduler
+from repro.store import ObservationStore
 from repro.tuner import (
     Autotuner,
     LearnedPrior,
@@ -44,6 +45,10 @@ from repro.utils.timing import Timer
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 N = 2_000 if SMOKE else 10_000
+#: Store-scale cases: observations in the synthetic fleet store, and
+#: the coverage-prune target.
+N_STORE = 5_000 if SMOKE else 50_000
+PRUNE_KEEP = N_STORE // 10
 CANDIDATES = ("growlocal", "hdagg", "wavefront")
 N_CORES = 8
 
@@ -211,3 +216,143 @@ def test_learned_prior_accuracy_parity_and_ranking_speedup():
     assert speedup >= 10.0, (
         f"learned ranking only {speedup:.1f}x faster than simulation"
     )
+
+
+# ---------------------------------------------------------------------------
+# the observation store at fleet scale: coverage prune + linear merge
+# ---------------------------------------------------------------------------
+def test_store_prune_preserves_learned_pick_quality(tmp_path):
+    """Coverage-aware pruning of a fleet-scale store must not cost
+    accuracy: a model trained on the 10x-pruned store matches the
+    exhaustive per-instance best within one pick of the model trained
+    on the full store, on the seeded corpus."""
+    machine = get_machine("intel_xeon_6238t")
+    corpus = _seeded_corpus(20)
+    cache = PlanCache()
+
+    schedulers = {n: make_scheduler(n) for n in (*CANDIDATES, "serial")}
+    exhaustive = run_suite(corpus, schedulers, machine,
+                           n_cores=N_CORES, plan_cache=cache)
+
+    # one cold pass builds the genuine observation base (~80 records),
+    # inflated to N_STORE with seeded log-space jitter on the seconds —
+    # the redundancy a long-running fleet accumulates
+    profile = TuningProfile(machine=machine.name)
+    cost = Autotuner(candidates=CANDIDATES, mode="simulated",
+                     expected_solves=1e15, seed=0)
+    for inst in corpus:
+        cost.tune(inst, machine, n_cores=N_CORES, plan_cache=cache,
+                  profile=profile)
+    base = profile.observations
+    rng = np.random.default_rng(0)
+    records = []
+    while len(records) < N_STORE:
+        for obs in base:
+            record = dict(obs)
+            record["seconds"] = float(obs["seconds"]) * float(
+                np.exp(rng.normal(0.0, 0.05))
+            )
+            records.append(record)
+            if len(records) >= N_STORE:
+                break
+
+    store = ObservationStore(tmp_path / "fleet", fingerprint="bench")
+    store.extend(records)
+    store.flush()
+
+    with Timer() as t_fit_full:
+        model_full = LearnedTunerModel.fit(records)
+    with Timer() as t_prune:
+        stats = store.prune(PRUNE_KEEP)
+    assert stats.before == N_STORE
+    assert stats.after <= PRUNE_KEEP
+    with Timer() as t_fit_pruned:
+        model_pruned = LearnedTunerModel.fit(store)
+
+    def n_matches(model) -> int:
+        prior = LearnedPrior(model, min_samples=3, max_std=5.0)
+        matches = 0
+        for i, inst in enumerate(corpus):
+            features = extract_features(inst, n_cores=N_CORES)
+            pick = prior.rank(inst, CANDIDATES, machine,
+                              n_cores=N_CORES, plan_cache=cache,
+                              features=features,
+                              expected_solves=1e15)[0].name
+            per_sched = {name: exhaustive[name][i].parallel_cycles
+                         for name in exhaustive}
+            if per_sched[pick] <= min(per_sched.values()) * (1 + 1e-12):
+                matches += 1
+        return matches
+
+    m_full, m_pruned = n_matches(model_full), n_matches(model_pruned)
+    print()
+    print(format_table(
+        ["store", "records", "fit s", "matches /20"],
+        [
+            ["full", str(N_STORE), f"{t_fit_full.elapsed:.3f}",
+             str(m_full)],
+            ["pruned (coverage)", str(stats.after),
+             f"{t_fit_pruned.elapsed:.3f}", str(m_pruned)],
+        ],
+        title=f"coverage prune {N_STORE} -> {PRUNE_KEEP} "
+              f"(prune {t_prune.elapsed:.3f}s)",
+    ))
+    assert m_pruned >= m_full - 1, (
+        f"pruned-store model matched {m_pruned}/20, full-store model "
+        f"{m_full}/20 — coverage prune lost more than one pick"
+    )
+
+
+def test_store_merge_is_linear_in_total_observations(tmp_path):
+    """Merging 10 shards is O(total observations): every source record
+    is read exactly once (the counter proves there is no per-source
+    quadratic re-read), and re-merging adds nothing."""
+    machine = get_machine("intel_xeon_6238t")
+    per_shard = (N_STORE // 10) if SMOKE else 2_000
+    n_shards = 10
+    features = extract_features(
+        DatasetInstance("merge_nb",
+                        narrow_band_lower(400, 0.1, 8.0, seed=0)),
+        n_cores=N_CORES,
+    )
+
+    sources = []
+    for s in range(n_shards):
+        shard = ObservationStore(tmp_path / f"shard{s}",
+                                 fingerprint=f"m{s}")
+        for i in range(per_shard):
+            shard.add_observation(
+                features, CANDIDATES[i % len(CANDIDATES)],
+                1.0 + i + 10_000 * s, n_cores=N_CORES,
+                mode="simulated", machine=machine.name, source="tune",
+            )
+        shard.flush()
+        sources.append(shard.path)
+
+    total = n_shards * per_shard
+    dest = ObservationStore(tmp_path / "merged", fingerprint="dest")
+    with Timer() as t_merge:
+        stats = dest.merge(sources)
+    assert stats.records_read == total, (
+        "merge re-read source records — not O(total observations)"
+    )
+    assert stats.added == total and stats.duplicates == 0
+    assert len(dest) == total
+
+    with Timer() as t_again:
+        again = dest.merge(sources)
+    assert again.records_read == total
+    assert again.added == 0 and again.duplicates == total
+
+    print()
+    print(format_table(
+        ["merge", "records read", "added", "time s"],
+        [
+            ["10 shards -> empty", str(stats.records_read),
+             str(stats.added), f"{t_merge.elapsed:.3f}"],
+            ["10 shards -> merged (idempotent)",
+             str(again.records_read), str(again.added),
+             f"{t_again.elapsed:.3f}"],
+        ],
+        title=f"store merge ({n_shards} shards x {per_shard} records)",
+    ))

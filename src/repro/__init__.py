@@ -38,6 +38,9 @@ Subpackages
                      into SpTRSM micro-batches, per-system stats
 ``repro.experiments`` datasets, runner (sequential + process-sharded),
                      metrics, tables and figures
+``repro.store``      fleet-wide observation store: the learned tuner's
+                     training data-plane (merge, coverage prune,
+                     staleness-triggered retrain)
 ``repro.tuner``      autotuner: per-matrix scheduler/backend selection
                      (features -> cost-model prior -> measured racing),
                      persisted tuning profiles, the "auto" scheduler

@@ -18,16 +18,24 @@ Exposes the library's main workflows without writing Python::
                               --train --model model.json
     python -m repro tune      --dataset narrow_band \
                               --profile profile.json --model model.json
+    python -m repro store     merge --into fleet.store a.store b.store
+    python -m repro store     stats --store fleet.store --json
+    python -m repro store     prune --store fleet.store --keep 5000
+    python -m repro store     retrain --store fleet.store \
+                              --model model.json
     python -m repro generate  --kind erdos_renyi --n 10000 --p 5e-4 \
                               --output L.mtx
     python -m repro datasets  --name suitesparse
     python -m repro machines
 
-``compare``, ``suite`` and ``tune`` accept ``--json`` for
-machine-readable output (consumed by CI smoke checks and scripting
-instead of scraping the tables).  ``tune --train`` fits the learned
-prior from a profile's accumulated observations; ``tune --model``
-ranks with it (``docs/cli.md`` documents every verb).
+``compare``, ``suite``, ``tune`` and every ``store`` verb accept
+``--json`` for machine-readable output (consumed by CI smoke checks
+and scripting instead of scraping the tables).  Training observations
+flow into a fleet-wide observation store (``tune --store DIR``, or the
+profile's ``<path>.store`` sidecar by default); ``tune --train`` fits
+the learned prior from it, ``tune --model`` ranks with the fit, and
+the ``store`` verbs merge/prune/summarize/retrain the fleet's data
+(``docs/cli.md`` documents every verb).
 
 Matrices are read/written in Matrix Market format; schedules in the JSON
 format of :mod:`repro.scheduler.serialize`.
@@ -38,6 +46,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 
 import numpy as np
@@ -160,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output",
                    help="write the updated profile JSON here "
                         "(default: the --profile path when given)")
+    p.add_argument("--store",
+                   help="observation-store directory receiving this "
+                        "run's training observations (default: the "
+                        "profile's '<path>.store' sidecar when a "
+                        "profile is involved; in-memory otherwise); "
+                        "legacy v2 inline profile observations are "
+                        "migrated into it")
     p.add_argument("--prior", choices=["cost", "learned"],
                    default=None,
                    help="candidate-ranking prior: one cost-model "
@@ -189,6 +205,72 @@ def build_parser() -> argparse.ArgumentParser:
                         "cost-model fallback)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON instead of a table")
+
+    p = sub.add_parser(
+        "store",
+        help="fleet-wide observation store: merge, prune, stats, "
+             "retrain",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    ps = store_sub.add_parser(
+        "stats", help="per-scheduler/per-regime coverage summary"
+    )
+    ps.add_argument("--store", required=True,
+                    help="observation-store directory")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of a table")
+
+    ps = store_sub.add_parser(
+        "merge",
+        help="merge source stores into one (content dedup; each source "
+             "record is read exactly once)",
+    )
+    ps.add_argument("--into", required=True,
+                    help="destination store directory (created if "
+                         "missing)")
+    ps.add_argument("sources", nargs="+",
+                    help="source store directories")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of a summary "
+                         "line")
+
+    ps = store_sub.add_parser(
+        "prune",
+        help="thin the store to --keep records by feature-space "
+             "coverage (farthest-point sampling per variant)",
+    )
+    ps.add_argument("--store", required=True,
+                    help="observation-store directory")
+    ps.add_argument("--keep", type=int, required=True,
+                    help="records to keep at most")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of a summary "
+                         "line")
+
+    ps = store_sub.add_parser(
+        "retrain",
+        help="refit the learned prior from the store when it is stale",
+    )
+    ps.add_argument("--store", required=True,
+                    help="observation-store directory")
+    ps.add_argument("--model", required=True,
+                    help="write the refreshed model JSON here")
+    ps.add_argument("--mode", choices=["measured", "simulated"],
+                    default=None,
+                    help="train on one measurement regime (default: "
+                         "the store's majority regime, measured "
+                         "winning ties)")
+    ps.add_argument("--min-new", type=int, default=None,
+                    help="new observations of the regime required "
+                         "since the last retrain (default 100; a "
+                         "never-trained regime is always stale)")
+    ps.add_argument("--force", action="store_true",
+                    help="retrain even when the staleness gate says "
+                         "nothing changed")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of a summary "
+                         "line")
 
     p = sub.add_parser("generate", help="generate a test matrix")
     p.add_argument("--kind", required=True,
@@ -419,8 +501,6 @@ def _cmd_tune(args) -> int:
                 f"available: {sorted(allowed)}"
             )
 
-    import os.path
-
     if args.train and not args.model:
         raise ConfigurationError(
             "--train needs --model PATH to write the trained model to"
@@ -443,8 +523,24 @@ def _cmd_tune(args) -> int:
             "--model (without --train) requires --prior learned"
         )
 
+    from repro.store import ObservationStore
+
     profile = (load_profile(args.profile) if args.profile
                else TuningProfile(machine=machine.name))
+    # the training data-plane: an explicit --store, or the profile's
+    # sidecar directory; a run with neither keeps observations in the
+    # profile's legacy inline list (in-memory only)
+    profile_out = args.output or args.profile
+    store_path = args.store or (
+        f"{profile_out}.store" if profile_out else None
+    )
+    store = ObservationStore(store_path) if store_path else None
+    migrated = 0
+    if store is not None and profile.observations:
+        # a v2 profile's inline observations migrate into the store
+        # (content dedup makes repeated migrations idempotent); the
+        # profile is saved back as a thin v3 decision cache below
+        migrated = store.ingest(profile.take_observations())
     tuner = Autotuner(
         candidates=candidates,
         expected_solves=args.expected_solves,
@@ -460,29 +556,37 @@ def _cmd_tune(args) -> int:
     with Timer() as t:
         decisions = [
             tuner.tune(inst, machine, n_cores=args.cores,
-                       plan_cache=cache, profile=profile)
+                       plan_cache=cache, profile=profile, store=store)
             for inst in instances
         ]
-    # without an explicit --output the updated profile (decisions plus
-    # any appended training observations) is written back to --profile,
-    # so the accumulate-then---train workflow never silently drops data
-    profile_out = args.output or args.profile
+    # without an explicit --output the updated profile (decisions) is
+    # written back to --profile, so the accumulate-then---train
+    # workflow never silently drops data; observations persist in the
+    # store (flushed atomically into this run's shard)
+    if store is not None:
+        store.flush()
     if profile_out:
         save_profile(profile, profile_out)
+    n_observations = (len(store) if store is not None
+                      else profile.n_observations)
 
     trained = None
     if args.train:
         # restrict training to this run's measurement regime so
-        # simulated and wall-clock targets never pool into one model
-        trained = LearnedTunerModel.fit(profile.observations,
-                                        mode=args.mode)
+        # simulated and wall-clock targets never pool into one model;
+        # the store is the training source — the inline profile list
+        # only serves runs without any store
+        trained = LearnedTunerModel.fit(
+            store if store is not None else profile.observations,
+            mode=args.mode,
+        )
         if len(trained) == 0 and os.path.exists(args.model):
             raise ConfigurationError(
                 f"the training store yielded no fittable models (too "
                 f"few {args.mode!r}-mode observations); refusing to "
                 f"overwrite the existing model {args.model} with an "
                 f"empty one — accumulate more observations via "
-                f"--profile first"
+                f"--store/--profile first"
             )
         save_model(trained, args.model)
 
@@ -505,7 +609,9 @@ def _cmd_tune(args) -> int:
             "wall_seconds": t.elapsed,
             "warm_starts": warm,
             "races_run": tuner.races_run,
-            "n_observations": profile.n_observations,
+            "n_observations": n_observations,
+            "store": store.path if store is not None else None,
+            "migrated_observations": migrated,
             "learned_prior": learned_stats,
             "decisions": [d.as_dict() for d in decisions],
         }
@@ -541,12 +647,128 @@ def _cmd_tune(args) -> int:
                  f"predicted, {learned_stats['n_fallback']} fell back")
     print(line)
     if profile_out:
-        print(f"wrote {profile_out} "
-              f"({profile.n_observations} observation(s))")
+        print(f"wrote {profile_out}")
+    if store is not None:
+        print(f"store {store.path}: {n_observations} observation(s)"
+              + (f", {migrated} migrated from the profile"
+                 if migrated else ""))
+    elif profile.n_observations:
+        print(f"{profile.n_observations} in-memory observation(s) "
+              f"(pass --store to persist them)")
     if trained is not None:
         print(f"wrote {args.model} (models for: "
               f"{', '.join(trained.schedulers) or 'nothing — store empty'})")
     return 0
+
+
+def _cmd_store(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.store import ObservationStore
+
+    if args.store_command == "stats":
+        store = ObservationStore(args.store, create=False)
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(_json_sanitize(stats), indent=2))
+            return 0
+        from repro.experiments.tables import format_table
+
+        rows = []
+        for name, entry in sorted(stats["schedulers"].items()):
+            for mode, regime in sorted(entry["regimes"].items()):
+                rows.append([
+                    name, mode or "-", regime["n"],
+                    regime["reordered"], regime["unique_features"],
+                ])
+        print(format_table(
+            ["scheduler", "regime", "records", "reordered",
+             "unique features"],
+            rows,
+            title=f"store: {args.store} "
+                  f"({stats['n_observations']} observation(s), "
+                  f"{stats['n_shards']} shard(s), "
+                  f"{len(stats['machines'])} machine(s))",
+        ))
+        return 0
+
+    if args.store_command == "merge":
+        dest = ObservationStore(args.into)
+        result = dest.merge(args.sources)
+        payload = {
+            "into": dest.path,
+            "sources": list(args.sources),
+            **result.as_dict(),
+            "n_observations": len(dest),
+        }
+        if args.json:
+            print(json.dumps(_json_sanitize(payload), indent=2))
+        else:
+            print(f"merged {result.sources} store(s) into {dest.path}: "
+                  f"{result.records_read} record(s) read, "
+                  f"{result.added} added, "
+                  f"{result.duplicates} duplicate(s) skipped")
+        return 0
+
+    if args.store_command == "prune":
+        store = ObservationStore(args.store, create=False)
+        result = store.prune(args.keep)
+        payload = {"store": store.path, "keep": args.keep,
+                   **result.as_dict()}
+        if args.json:
+            print(json.dumps(_json_sanitize(payload), indent=2))
+        else:
+            print(f"pruned {store.path}: {result.before} -> "
+                  f"{result.after} record(s) "
+                  f"({result.dropped} dropped by coverage thinning)")
+        return 0
+
+    if args.store_command == "retrain":
+        store = ObservationStore(args.store, create=False)
+        retrain_kwargs = {"mode": args.mode, "force": args.force}
+        if args.min_new is not None:
+            retrain_kwargs["min_new"] = args.min_new
+        model = store.retrain(**retrain_kwargs)
+        if model is not None and len(model) == 0 \
+                and os.path.exists(args.model):
+            raise ConfigurationError(
+                f"the store yielded no fittable models (too few "
+                f"observations per (scheduler, reordered) variant); "
+                f"refusing to overwrite the existing model "
+                f"{args.model} with an empty one"
+            )
+        if model is not None:
+            from repro.tuner import save_model
+
+            save_model(model, args.model)
+        payload = {
+            "store": store.path,
+            "trained": model is not None,
+            "mode": model.mode if model is not None else args.mode,
+            "model": args.model if model is not None else None,
+            "schedulers": model.schedulers if model is not None else [],
+            "n_samples": (
+                {name: model.n_samples(name)
+                 for name in model.schedulers}
+                if model is not None else {}
+            ),
+            "n_observations": len(store),
+        }
+        if args.json:
+            print(json.dumps(_json_sanitize(payload), indent=2))
+        elif model is None:
+            print(f"store {store.path} is not stale "
+                  f"(--force to retrain anyway)")
+        else:
+            print(f"retrained from {store.path} "
+                  f"({payload['n_observations']} observation(s), "
+                  f"mode {model.mode}); wrote {args.model} "
+                  f"(models for: "
+                  f"{', '.join(model.schedulers) or 'nothing'})")
+        return 0
+
+    raise ConfigurationError(
+        f"unknown store command {args.store_command!r}"
+    )
 
 
 def _cmd_generate(args) -> int:
@@ -604,6 +826,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "suite": _cmd_suite,
     "tune": _cmd_tune,
+    "store": _cmd_store,
     "generate": _cmd_generate,
     "datasets": _cmd_datasets,
     "machines": _cmd_machines,

@@ -15,6 +15,15 @@ merged :class:`~repro.experiments.runner.ExperimentResult`, so the
 suite-wide compile accounting stays observable no matter how the work
 was sharded.
 
+Training observations shard the same way: with an ``"auto"`` scheduler
+in the suite and a ``store`` given, every worker collects its shard's
+tuning observations into a private in-memory
+:class:`~repro.store.ObservationStore`, and the parent merges the
+per-worker stores **deterministically** — shards are ingested in
+instance order with content dedup, so the merged store is independent
+of which worker finished first (and re-running the same suite against
+the same store adds nothing).
+
 Only the timing-derived fields (``scheduling_seconds``, ``amortization``)
 and the cache counters depend on *where* a result was computed; every
 simulated metric is deterministic and identical to a sequential run.
@@ -24,12 +33,19 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 
+from repro.errors import ConfigurationError
 from repro.exec import PlanCache
 from repro.experiments.datasets import DatasetInstance
-from repro.experiments.runner import ExperimentResult, run_instance
+from repro.experiments.runner import (
+    ExperimentResult,
+    observation_store_attached,
+    run_instance,
+)
 from repro.machine.model import MachineModel
 from repro.scheduler.base import Scheduler
+from repro.store import ObservationStore
 
 __all__ = ["run_suite_parallel"]
 
@@ -49,23 +65,40 @@ def _run_shard(
     machine: MachineModel,
     n_cores: int | None,
     reorder: bool | None,
-) -> tuple[dict[str, ExperimentResult], int, int]:
+    collect_observations: bool = False,
+) -> tuple[dict[str, ExperimentResult], int, int, list[dict]]:
     """One instance x all schedulers inside a worker process.
 
-    Returns the per-scheduler results plus this shard's cache hit/miss
+    Returns the per-scheduler results, this shard's cache hit/miss
     *deltas* (the worker cache is long-lived, so absolute counters would
-    double-count earlier shards).
+    double-count earlier shards), and — when ``collect_observations``
+    is set — the training observations the shard's adaptive schedulers
+    produced, collected through a private in-memory per-worker store
+    (the parent merges them deterministically).
     """
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else PlanCache()
     hits0, misses0 = cache.hits, cache.misses
-    results = {
-        name: run_instance(
-            inst, scheduler, machine,
-            n_cores=n_cores, reorder=reorder, plan_cache=cache,
-        )
-        for name, scheduler in schedulers.items()
-    }
-    return results, cache.hits - hits0, cache.misses - misses0
+    sink = None
+    if collect_observations:
+        # route observations through a throwaway in-memory sink; the
+        # context manager restores whatever each scheduler had attached
+        # before — with workers == 1 these are the *caller's* live
+        # objects, and leaving them attached to a discarded sink would
+        # silently swallow every later observation
+        sink = ObservationStore(None)
+    ctx = (observation_store_attached(schedulers, sink)
+           if sink is not None else nullcontext(0))
+    with ctx:
+        results = {
+            name: run_instance(
+                inst, scheduler, machine,
+                n_cores=n_cores, reorder=reorder, plan_cache=cache,
+            )
+            for name, scheduler in schedulers.items()
+        }
+    observations = list(sink) if sink is not None else []
+    return (results, cache.hits - hits0, cache.misses - misses0,
+            observations)
 
 
 def run_suite_parallel(
@@ -77,6 +110,7 @@ def run_suite_parallel(
     reorder: bool | None = None,
     workers: int | None = None,
     max_cache_entries: int | None = None,
+    store=None,
 ) -> dict[str, list[ExperimentResult]]:
     """Run every scheduler on every instance, sharded across processes.
 
@@ -97,6 +131,14 @@ def run_suite_parallel(
     max_cache_entries:
         Optional bound for each worker's :class:`~repro.exec.PlanCache`
         (LRU eviction), capping per-process memory on huge suites.
+    store:
+        Optional :class:`~repro.store.ObservationStore`: each worker
+        collects the tuning observations of the suite's adaptive
+        (``"auto"``) schedulers into a private per-worker store, and
+        the per-worker stores are merged into ``store`` after the suite
+        — ingested in instance order with content dedup, then flushed
+        once — so the merge is deterministic regardless of worker
+        scheduling and idempotent across re-runs.
 
     Returns
     -------
@@ -108,12 +150,34 @@ def run_suite_parallel(
     if workers is None:
         workers = os.cpu_count() or 1
     workers = max(1, min(int(workers), max(len(instances), 1)))
+    # a store attached directly to a scheduler (AutoScheduler(store=…))
+    # must not be silently dropped when the suite runs in worker
+    # processes — the workers would append to pickled *copies*.  Use it
+    # as the merge destination; an explicit ``store=`` wins, and two
+    # different pre-attached stores are ambiguous.
+    if store is None:
+        pre_attached = {
+            id(s): s
+            for s in (
+                getattr(scheduler, "observation_store", None)
+                for scheduler in schedulers.values()
+            )
+            if s is not None
+        }
+        if len(pre_attached) > 1:
+            raise ConfigurationError(
+                "schedulers carry different attached observation "
+                "stores; pass an explicit store= to run_suite_parallel"
+            )
+        store = next(iter(pre_attached.values()), None)
+    collect = store is not None
 
     if workers == 1:
         _init_worker(max_cache_entries)
         try:
             shards = [
-                _run_shard(inst, schedulers, machine, n_cores, reorder)
+                _run_shard(inst, schedulers, machine, n_cores, reorder,
+                           collect)
                 for inst in instances
             ]
         finally:
@@ -126,7 +190,8 @@ def run_suite_parallel(
         ) as pool:
             futures = [
                 pool.submit(
-                    _run_shard, inst, schedulers, machine, n_cores, reorder
+                    _run_shard, inst, schedulers, machine, n_cores,
+                    reorder, collect,
                 )
                 for inst in instances
             ]
@@ -134,10 +199,17 @@ def run_suite_parallel(
             # deterministic regardless of which worker finished first
             shards = [f.result() for f in futures]
 
+    if store is not None:
+        # deterministic merge of the per-worker observation stores:
+        # instance order, content dedup, one flush
+        for _, _, _, observations in shards:
+            store.ingest(observations)
+        store.flush()
+
     out: dict[str, list[ExperimentResult]] = {name: [] for name in schedulers}
-    total_hits = sum(h for _, h, _ in shards)
-    total_misses = sum(m for _, _, m in shards)
-    for results, _, _ in shards:
+    total_hits = sum(h for _, h, _, _ in shards)
+    total_misses = sum(m for _, _, m, _ in shards)
+    for results, _, _, _ in shards:
         for name in schedulers:
             result = results[name]
             result.plan_cache_hits = total_hits

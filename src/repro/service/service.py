@@ -121,6 +121,14 @@ class SolveService:
     plan_cache:
         Shared thread-safe :class:`~repro.exec.PlanCache` used to lower
         registered systems; a private cache is created when omitted.
+    store:
+        Optional :class:`~repro.store.ObservationStore`: every
+        ``schedule="auto"`` registration appends the **genuine measured
+        seconds** of its hot-swap race to it (tagged
+        ``source="service"``), so serving traffic keeps training the
+        learned prior.  Only real race measurements enter the store —
+        never the prior's predictions (the tuner's
+        ``_record_observations`` invariant).
 
     Examples
     --------
@@ -141,12 +149,14 @@ class SolveService:
         backend: str | None = None,
         max_batch: int = 64,
         plan_cache: PlanCache | None = None,
+        store=None,
     ) -> None:
         if max_batch < 1:
             raise ConfigurationError("max_batch must be >= 1")
         self._backend = get_backend(backend)
         self._max_batch = int(max_batch)
         self._cache = plan_cache if plan_cache is not None else PlanCache()
+        self._store = store
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._systems: dict[object, _System] = {}
@@ -171,6 +181,7 @@ class SolveService:
         machine=None,
         tuner=None,
         n_cores: int | None = None,
+        profile=None,
     ) -> ExecutionPlan:
         """Register ``(matrix, schedule)`` as a solve target under ``key``.
 
@@ -195,7 +206,13 @@ class SolveService:
         bound overrides the service default for this system.  Optional
         ``machine`` (cost-model preset), ``tuner``
         (:class:`~repro.tuner.Autotuner`) and ``n_cores`` configure the
-        tuning run.
+        tuning run; a ``profile``
+        (:class:`~repro.tuner.TuningProfile`) warm-starts it — a stored
+        decision with matching features installs without racing, and
+        fresh decisions are recorded back, so re-registering a known
+        fleet runs **zero races**.  With a service-level ``store`` the
+        race's genuine measured seconds are appended as training
+        observations (warm starts append nothing).
         """
         if isinstance(schedule, str):
             if schedule != "auto":
@@ -211,7 +228,11 @@ class SolveService:
             return self._register_auto(
                 key, matrix,
                 direction=direction, machine=machine, tuner=tuner,
-                n_cores=n_cores,
+                n_cores=n_cores, profile=profile,
+            )
+        if profile is not None:
+            raise ConfigurationError(
+                "a tuning profile is only meaningful with schedule='auto'"
             )
         if plan is not None:
             plan.require_compatible(matrix.n, direction)
@@ -253,6 +274,7 @@ class SolveService:
         machine,
         tuner,
         n_cores: int | None,
+        profile=None,
     ) -> ExecutionPlan:
         """Tuner-backed registration (see :meth:`register`)."""
         # local imports: the tuner layer sits above the service and
@@ -292,13 +314,39 @@ class SolveService:
             f"__auto__{matrix_fingerprint(matrix)}", matrix
         )
 
+        # 0. warm start: a profile decision whose features still match
+        # (and that is admissible under this tuner's configuration)
+        # installs directly — no prior ranking, no extra compile, no
+        # race, nothing appended to the store
+        features = extract_features(inst, n_cores=cores)
+        warm = tuner.probe_profile(
+            inst, machine, n_cores=cores, reorder=False,
+            profile=profile, features=features,
+        )
+        if warm is not None:
+            warm_plan = compiled_entry(
+                inst, make_scheduler(warm.scheduler), cores, False,
+                self._cache,
+            ).plan
+            warm_plan.require_solvable()
+            with self._cond:
+                if self._closed:
+                    raise ConfigurationError(
+                        "service is closed; register() after close() "
+                        "is not allowed"
+                    )
+                system = _System(key, warm_plan)
+                system.tuned_scheduler = warm.scheduler
+                system.max_batch = warm.max_batch
+                self._systems[key] = system
+            return warm_plan
+
         # 1. prior: start serving on the prior's pick right away (the
         # tuner's configured prior — cost model, or learned inference
         # with cost-model fallback).  reorder=False throughout — a
         # Section 5-reordered plan solves a symmetrically permuted
         # system, not the one being registered.  Features are extracted
-        # once here and shared by the ranking and the tuning run.
-        features = extract_features(inst, n_cores=cores)
+        # once above and shared by the ranking and the tuning run.
         scores = tuner.rank_prior(
             inst, machine,
             n_cores=cores, reorder=False, plan_cache=self._cache,
@@ -320,20 +368,39 @@ class SolveService:
 
         # 2. race the finalists (passing the prior's ranking so the
         # candidate simulations run once, not twice), then hot-swap the
-        # winner in while the system keeps serving
-        decision = tuner.tune(
-            inst, machine,
-            n_cores=cores, reorder=False, plan_cache=self._cache,
-            prior_scores=scores, features=features,
-        )
+        # winner in while the system keeps serving.  A profile hit
+        # warm-starts instead — zero races — and appends nothing to the
+        # store; a cold race records its genuine measured seconds
+        # there, stamped with serving provenance (the source override
+        # is scoped to this registration: a caller-supplied tuner keeps
+        # its own tag for later non-service runs).
+        races_before = tuner.races_run
+        prev_source = tuner.observation_source
+        if self._store is not None:
+            tuner.observation_source = "service"
+        try:
+            decision = tuner.tune(
+                inst, machine,
+                n_cores=cores, reorder=False, plan_cache=self._cache,
+                prior_scores=scores, features=features,
+                profile=profile, store=self._store,
+            )
+        finally:
+            tuner.observation_source = prev_source
+        if self._store is not None:
+            # persist the race's observations now: a service is long-
+            # lived and nothing else guarantees a flush before exit
+            self._store.flush()
         winner_plan = compiled_entry(
             inst, make_scheduler(decision.scheduler), cores, False,
             self._cache,
         ).plan
+        raced = tuner.races_run > races_before
         arms = {
             name: values[-1]
             for name, values in (
-                tuner.last_race.measurements if tuner.last_race else {}
+                tuner.last_race.measurements
+                if raced and tuner.last_race else {}
             ).items()
         }
         with self._cond:
@@ -521,6 +588,10 @@ class SolveService:
             self._cond.notify_all()
         if wait:
             self._worker.join()
+        if self._store is not None:
+            # defensive: registrations flush as they record, but a
+            # store shared with other writers may hold pending records
+            self._store.flush()
 
     @property
     def closed(self) -> bool:

@@ -1,0 +1,46 @@
+"""Fleet-wide observation store: the tuner's training data-plane.
+
+Separates raw training observations (this layer) from warm-start
+decisions (:mod:`repro.tuner.profile`) and model training
+(:mod:`repro.tuner.learn`):
+
+* :class:`ObservationStore` — append-only sharded JSONL records tagged
+  with machine fingerprint, reorder variant and provenance mode;
+  ``merge`` across profiles/machines with content dedup, ``prune`` by
+  feature-space coverage, ``stats`` per-scheduler/per-regime summaries,
+  staleness-triggered ``retrain``;
+* :func:`~repro.store.prune.coverage_prune` /
+  :func:`~repro.store.prune.farthest_point_order` — the thinning that
+  replaces FIFO truncation;
+* :func:`machine_fingerprint` — which host produced the seconds.
+
+Producers: ``repro tune`` (``--store``), the sharded suite runner
+(per-worker stores merged deterministically) and the live
+:class:`~repro.service.SolveService` (measured hot-swap races).  The
+CLI surface is ``repro store merge|prune|stats|retrain``.
+"""
+
+from repro.store.prune import coverage_prune, farthest_point_order
+from repro.store.store import (
+    OBSERVATION_MODES,
+    STORE_VERSION,
+    MergeStats,
+    ObservationStore,
+    PruneStats,
+    build_record,
+    machine_fingerprint,
+    record_key,
+)
+
+__all__ = [
+    "MergeStats",
+    "OBSERVATION_MODES",
+    "ObservationStore",
+    "PruneStats",
+    "STORE_VERSION",
+    "build_record",
+    "coverage_prune",
+    "farthest_point_order",
+    "machine_fingerprint",
+    "record_key",
+]

@@ -17,8 +17,9 @@ per-subject modeling — instead of one hard-coded global default:
   uncertainty-gated by leave-one-out predictive variance;
 * :mod:`~repro.tuner.race` — budgeted successive-halving racing over
   the surviving finalists;
-* :mod:`~repro.tuner.profile` — versioned JSON tuning profiles for
-  warm starts, doubling as the learned prior's training store;
+* :mod:`~repro.tuner.profile` — versioned JSON tuning profiles: a thin
+  decision cache for warm starts (raw training observations live in
+  the fleet-wide :mod:`repro.store` data-plane);
 * :mod:`~repro.tuner.auto` — the :class:`Autotuner` pipeline and the
   registry-facing :class:`AutoScheduler` (scheduler name ``"auto"``).
 """

@@ -354,6 +354,10 @@ class Autotuner:
             if prior == "learned"
             else None
         )
+        #: Provenance tag stamped on observation records this tuner
+        #: writes (``"tune"``; the solve service and the suite runner
+        #: override it with ``"service"`` / ``"suite"``).
+        self.observation_source = "tune"
         #: Races actually run (warm starts from a profile skip racing —
         #: observable here and asserted by tests).
         self.races_run = 0
@@ -407,6 +411,7 @@ class Autotuner:
         profile: TuningProfile | None = None,
         prior_scores: list | None = None,
         features: MatrixFeatures | None = None,
+        store=None,
     ) -> TuningDecision:
         """Tune one instance; returns the decision (and records it in
         ``profile`` when one is given).
@@ -435,6 +440,16 @@ class Autotuner:
             output for ``inst`` at this run's core count — callers that
             already extracted (the solve service) pass it so the work
             runs once.
+        store:
+            Observation sink for this run's genuine seconds — an
+            :class:`~repro.store.ObservationStore` (the fleet-wide
+            training data-plane) or anything with its
+            ``add_observation`` signature.  When given, observations go
+            to the store and the profile stays a thin decision cache;
+            without it they land in the profile's legacy inline list
+            (when a profile is given at all).  Warm starts append
+            nothing either way, and model predictions are never
+            recorded (see :meth:`_record_observations`).
         """
         if machine is None:
             machine = get_machine(DEFAULT_MACHINE)
@@ -442,20 +457,12 @@ class Autotuner:
         if features is None:
             features = extract_features(inst, n_cores=cores)
         key = entry_key(inst.name, machine.name, cores)
-        if profile is not None:
-            stored = profile.lookup(key, features)
-            if stored is not None:
-                try:
-                    decision = TuningDecision.from_dict(stored,
-                                                        source="profile")
-                except (KeyError, TypeError, ValueError):
-                    # a malformed entry (hand-edited, truncated) is
-                    # treated like a feature mismatch: re-tune and
-                    # overwrite it rather than crash the warm start
-                    decision = None
-                if decision is not None and self._admissible(decision,
-                                                             reorder):
-                    return decision
+        warm = self.probe_profile(
+            inst, machine, n_cores=cores, reorder=reorder,
+            profile=profile, features=features,
+        )
+        if warm is not None:
+            return warm
 
         cache = plan_cache if plan_cache is not None else PlanCache()
         scores = (
@@ -513,12 +520,57 @@ class Autotuner:
             mode=self.mode,
             features=features,
         )
-        if profile is not None:
+        sink = store if store is not None else profile
+        if sink is not None:
             self._record_observations(
-                profile, features,
+                sink, features,
                 [by_name[s.name] for s in scores], race, reorder, cores,
+                machine.name,
             )
+        if profile is not None:
             profile.record(key, decision.as_dict())
+        return decision
+
+    def probe_profile(
+        self,
+        inst: DatasetInstance,
+        machine: MachineModel | None = None,
+        *,
+        n_cores: int | None = None,
+        reorder: bool | None = None,
+        profile: TuningProfile | None = None,
+        features: MatrixFeatures | None = None,
+    ) -> TuningDecision | None:
+        """The stored, still-admissible decision for this configuration
+        — or ``None`` (no profile, no entry, feature drift, malformed
+        entry, or a decision made under an incompatible configuration).
+
+        This is :meth:`tune`'s warm-start check, exposed so callers
+        that do expensive work *before* tuning — the solve service
+        ranks the prior and compiles its pick to start serving
+        immediately — can skip all of it when the decision is already
+        known.  A malformed entry (hand-edited, truncated) is treated
+        like a feature mismatch: the caller re-tunes and overwrites it
+        rather than crashing the warm start.
+        """
+        if profile is None:
+            return None
+        if machine is None:
+            machine = get_machine(DEFAULT_MACHINE)
+        cores = clip_cores(machine, n_cores)
+        if features is None:
+            features = extract_features(inst, n_cores=cores)
+        stored = profile.lookup(
+            entry_key(inst.name, machine.name, cores), features
+        )
+        if stored is None:
+            return None
+        try:
+            decision = TuningDecision.from_dict(stored, source="profile")
+        except (KeyError, TypeError, ValueError):
+            return None
+        if not self._admissible(decision, reorder):
+            return None
         return decision
 
     def _reprice_finalists(
@@ -590,18 +642,23 @@ class Autotuner:
 
     def _record_observations(
         self,
-        profile: TuningProfile,
+        sink,
         features: MatrixFeatures,
         scores: list[CandidateScore],
         race: RaceResult,
         reorder: bool | None,
         cores: int,
+        machine_name: str,
     ) -> None:
         """Append this run's *genuine* seconds to the training store.
 
-        Model predictions are never fed back into the store they would
-        later be trained on.  ``scores`` already carries the re-priced
-        finalists (:meth:`_reprice_finalists`), so what qualifies:
+        ``sink`` is the observation data-plane — a fleet-wide
+        :class:`~repro.store.ObservationStore`, or the profile's legacy
+        inline list; both expose the same ``add_observation``
+        signature.  Model predictions are never fed back into the store
+        they would later be trained on.  ``scores`` already carries the
+        re-priced finalists (:meth:`_reprice_finalists`), so what
+        qualifies:
 
         * in simulated mode — every cost-model-priced candidate
           (fallback scores and re-priced finalists alike);
@@ -629,10 +686,11 @@ class Autotuner:
                 if s.result is not None
                 else resolve_reorder(make_scheduler(s.name), reorder)
             )
-            profile.add_observation(
+            sink.add_observation(
                 features, s.name, seconds,
                 scheduling_seconds=s.scheduling_seconds,
                 n_cores=cores, mode=self.mode, reordered=reordered,
+                machine=machine_name, source=self.observation_source,
             )
 
     def _admissible(
@@ -764,6 +822,7 @@ class AutoScheduler(Scheduler):
         machine: MachineModel | str | None = None,
         tuner: Autotuner | None = None,
         profile: TuningProfile | None = None,
+        store=None,
         **tuner_options: object,
     ) -> None:
         if tuner is not None and tuner_options:
@@ -775,6 +834,7 @@ class AutoScheduler(Scheduler):
             get_machine(machine) if isinstance(machine, str) else machine
         )
         self._profile = profile
+        self._store = store
         self._decisions: dict[
             tuple[str, str, int, bool | None], TuningDecision
         ] = {}
@@ -782,6 +842,29 @@ class AutoScheduler(Scheduler):
     @property
     def tuner(self) -> Autotuner:
         return self._tuner
+
+    @property
+    def observation_store(self):
+        """The currently attached observation sink (``None`` when
+        observations go to the profile's legacy inline list)."""
+        return self._store
+
+    def attach_store(self, store, *, source: str | None = None):
+        """Route this scheduler's tuning observations into ``store``.
+
+        The suite runners call this (with ``source="suite"``) so
+        ``"auto"`` suites feed the fleet-wide training data-plane; any
+        caller can attach an :class:`~repro.store.ObservationStore`
+        (or an in-memory one) the same way.  Returns the previously
+        attached store, so a caller routing through a temporary sink
+        (the sharded suite runner) can restore the original attachment
+        afterwards.
+        """
+        previous = self._store
+        self._store = store
+        if source is not None:
+            self._tuner.observation_source = str(source)
+        return previous
 
     def decide(
         self,
@@ -806,7 +889,7 @@ class AutoScheduler(Scheduler):
             self._decisions[memo_key] = self._tuner.tune(
                 inst, machine,
                 n_cores=cores, reorder=reorder, plan_cache=plan_cache,
-                profile=self._profile,
+                profile=self._profile, store=self._store,
             )
         return self._decisions[memo_key]
 

@@ -9,10 +9,13 @@ mapping once and answers from then on with **one inference per
 candidate** instead of one simulation:
 
 * every ``repro tune`` run appends ``(features, scheduler, seconds)``
-  observations to its profile's **training store**
-  (:class:`~repro.tuner.profile.TuningProfile`, format v2);
+  observations to the **training data-plane** — the fleet-wide
+  :class:`~repro.store.ObservationStore`, or the legacy inline list of
+  a :class:`~repro.tuner.profile.TuningProfile` when no store is
+  attached;
 * :meth:`LearnedTunerModel.fit` trains one ridge-regression model per
-  scheduler candidate on those observations — inputs are the
+  scheduler candidate on those observations (any iterable of record
+  dicts — a store iterates directly) — inputs are the
   :class:`~repro.tuner.features.MatrixFeatures` vector (which includes
   the core count), targets are **log-transformed** per-solve and
   scheduling seconds;
@@ -40,11 +43,13 @@ import json
 import math
 import os
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.tuner.features import MatrixFeatures
+from repro.utils.atomic import atomic_write_json
 
 __all__ = [
     "FEATURE_FIELDS",
@@ -255,13 +260,18 @@ class LearnedTunerModel:
     @classmethod
     def fit(
         cls,
-        observations: list[dict],
+        observations: Iterable[dict],
         *,
         ridge_lambda: float = 1e-2,
         min_fit_samples: int = 2,
         mode: str | None = None,
     ) -> "LearnedTunerModel":
         """Train one model per scheduler from observation records.
+
+        ``observations`` is any iterable of record dicts — a plain
+        list, a profile's legacy inline list, or a
+        :class:`~repro.store.ObservationStore` (iterated once, shard by
+        shard; no materialized copy of the store is required).
 
         Each record carries ``features`` (a
         :meth:`MatrixFeatures.as_dict` payload), ``scheduler``,
@@ -436,10 +446,11 @@ def save_model(model: LearnedTunerModel, path: str | os.PathLike) -> None:
     ...     save_model(LearnedTunerModel.fit([]), path)
     ...     len(load_model(path))
     0
+
+    The write is atomic (temp file + rename): a crash mid-save never
+    corrupts a previously good model file.
     """
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(model.as_dict(), fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(model.as_dict(), path)
 
 
 def load_model(path: str | os.PathLike) -> LearnedTunerModel:

@@ -230,6 +230,158 @@ def test_tune_train_writes_model_and_warm_learned_run(tmp_path, capsys):
     assert learned["learned_prior"]["n_predicted"] > 0
 
 
+def test_tune_writes_sidecar_store(tmp_path, capsys):
+    import json
+
+    from repro.store import ObservationStore
+
+    profile = str(tmp_path / "profile.json")
+    assert main(["tune", "--dataset", "narrow_band", "--limit", "1",
+                 "--schedulers", "growlocal,hdagg", "--mode", "simulated",
+                 "--seed", "0", "--cores", "8", "--output", profile,
+                 "--json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["store"] == profile + ".store"
+    assert cold["n_observations"] == 3
+    store = ObservationStore(profile + ".store", create=False)
+    assert len(store) == 3
+    # the profile itself stays a thin v3 decision cache
+    data = json.loads(open(profile).read())
+    assert data["version"] == 3
+    assert "observations" not in data
+
+
+def test_tune_explicit_store_and_migration_from_v2_profile(
+    tmp_path, capsys
+):
+    import json
+
+    from repro.store import ObservationStore
+    from repro.tuner import load_profile
+
+    profile = str(tmp_path / "profile.json")
+    store_dir = str(tmp_path / "fleet.store")
+    args = ["tune", "--dataset", "narrow_band", "--limit", "1",
+            "--schedulers", "growlocal,hdagg", "--mode", "simulated",
+            "--seed", "0", "--cores", "8"]
+    assert main([*args, "--output", profile, "--store", store_dir,
+                 "--json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["store"] == store_dir
+    assert len(ObservationStore(store_dir, create=False)) == 3
+
+    # rewrite the profile as a v2 file with inline observations: the
+    # next run must migrate them into the store (dedup keeps the store
+    # clean) and write the profile back thin
+    data = json.loads(open(profile).read())
+    inline = [dict(r) for r in ObservationStore(store_dir)]
+    for record in inline:
+        record["seconds"] *= 2.0  # distinct content: must be added
+    data.update(version=2, observations=inline)
+    open(profile, "w").write(json.dumps(data))
+
+    assert main([*args, "--profile", profile, "--store", store_dir,
+                 "--json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["migrated_observations"] == 3
+    assert warm["races_run"] == 0
+    assert warm["n_observations"] == 6
+    assert load_profile(profile).n_observations == 0  # thin again
+
+
+def test_store_stats_json_shape(tmp_path, capsys):
+    import json
+
+    store_dir = str(tmp_path / "fleet.store")
+    assert main(["tune", "--dataset", "narrow_band", "--limit", "1",
+                 "--schedulers", "growlocal,hdagg", "--mode",
+                 "simulated", "--seed", "0", "--cores", "8",
+                 "--store", store_dir, "--json"]) == 0
+    capsys.readouterr()
+    assert main(["store", "stats", "--store", store_dir, "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["n_observations"] == 3
+    assert stats["n_shards"] == 1
+    assert isinstance(stats["machines"], list) and stats["machines"]
+    assert stats["modes"] == {"simulated": 3}
+    assert stats["sources"] == {"tune": 3}
+    assert set(stats["schedulers"]) == {"growlocal", "hdagg", "serial"}
+    for entry in stats["schedulers"].values():
+        assert entry["n"] == 1
+        regime = entry["regimes"]["simulated"]
+        assert set(regime) == {"n", "reordered", "unique_features"}
+        assert regime["unique_features"] == 1
+    assert "trained" in stats
+    # table output renders too
+    assert main(["store", "stats", "--store", store_dir]) == 0
+    assert "store:" in capsys.readouterr().out
+
+
+def test_store_merge_retrain_prune_cli_loop(tmp_path, capsys,
+                                            monkeypatch):
+    """The fleet loop end to end: cold tune on two 'machines', merge
+    their stores, retrain, prune — every verb with --json."""
+    import json
+
+    args = ["tune", "--dataset", "narrow_band", "--limit", "2",
+            "--schedulers", "growlocal,hdagg", "--mode", "simulated",
+            "--seed", "0", "--cores", "8"]
+    monkeypatch.setenv("REPRO_MACHINE_FINGERPRINT", "ci-a")
+    assert main([*args, "--store", str(tmp_path / "a")]) == 0
+    monkeypatch.setenv("REPRO_MACHINE_FINGERPRINT", "ci-b")
+    assert main([*args, "--store", str(tmp_path / "b")]) == 0
+    monkeypatch.delenv("REPRO_MACHINE_FINGERPRINT")
+    capsys.readouterr()
+
+    merged = str(tmp_path / "merged")
+    assert main(["store", "merge", "--into", merged,
+                 str(tmp_path / "a"), str(tmp_path / "b"),
+                 "--json"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["records_read"] == 12
+    assert out["added"] == 12  # distinct fingerprints: no dedup
+    assert out["duplicates"] == 0
+    assert out["n_observations"] == 12
+
+    assert main(["store", "stats", "--store", merged, "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["machines"] == ["ci-a", "ci-b"]
+
+    model = str(tmp_path / "model.json")
+    assert main(["store", "retrain", "--store", merged,
+                 "--model", model, "--json"]) == 0
+    trained = json.loads(capsys.readouterr().out)
+    assert trained["trained"] is True
+    assert trained["mode"] == "simulated"
+    assert set(trained["schedulers"]) == {"growlocal", "hdagg",
+                                          "serial"}
+    assert all(n >= 4 for n in trained["n_samples"].values())
+
+    # freshly trained: the staleness gate reports nothing new
+    assert main(["store", "retrain", "--store", merged,
+                 "--model", model, "--json"]) == 0
+    stale = json.loads(capsys.readouterr().out)
+    assert stale["trained"] is False
+    assert stale["model"] is None
+
+    assert main(["store", "prune", "--store", merged, "--keep", "6",
+                 "--json"]) == 0
+    pruned = json.loads(capsys.readouterr().out)
+    assert (pruned["before"], pruned["after"]) == (12, 6)
+    # every (scheduler, regime) variant survives the thinning
+    assert main(["store", "stats", "--store", merged, "--json"]) == 0
+    after = json.loads(capsys.readouterr().out)
+    assert set(after["schedulers"]) == {"growlocal", "hdagg", "serial"}
+
+
+def test_store_verbs_require_existing_store(tmp_path, capsys):
+    missing = str(tmp_path / "nope")
+    assert main(["store", "stats", "--store", missing]) == 2
+    assert "does not exist" in capsys.readouterr().err
+    assert main(["store", "retrain", "--store", missing,
+                 "--model", str(tmp_path / "m.json")]) == 2
+
+
 def test_tune_train_requires_model_path(capsys):
     assert main(["tune", "--dataset", "narrow_band", "--limit", "1",
                  "--train"]) == 2

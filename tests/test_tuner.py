@@ -986,9 +986,10 @@ class TestProfileMigration:
         assert warm.scheduler == decision.scheduler
         assert warm_tuner.races_run == 0
 
-    def test_v1_round_trips_to_v2(self, small_inst, machine, tmp_path):
-        """Loading v1 and saving upgrades the file to the current
-        version with an (empty, then growing) observation store."""
+    def test_v1_round_trips_to_current(self, small_inst, machine,
+                                       tmp_path):
+        """Loading v1 and saving upgrades the file to the current (v3,
+        thin decision cache) version."""
         import json
 
         profile, decision = self._cold_profile(small_inst, machine)
@@ -1000,13 +1001,14 @@ class TestProfileMigration:
         }))
         loaded = load_profile(v1_path)
 
-        v2_path = tmp_path / "v2.json"
-        save_profile(loaded, v2_path)
-        data = json.loads(v2_path.read_text())
-        assert data["version"] == 2
-        assert data["observations"] == []
+        v3_path = tmp_path / "v3.json"
+        save_profile(loaded, v3_path)
+        data = json.loads(v3_path.read_text())
+        assert data["version"] == 3
+        # v3 is a thin decision cache: no empty legacy observation list
+        assert "observations" not in data
 
-        reloaded = load_profile(v2_path)
+        reloaded = load_profile(v3_path)
         warm_tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
                                expected_solves=1e15, seed=0)
         warm = warm_tuner.tune(small_inst, machine, n_cores=N_CORES,
@@ -1014,9 +1016,39 @@ class TestProfileMigration:
         assert warm.source == "profile"
         assert warm.scheduler == decision.scheduler
 
+    def test_v2_inline_observations_still_load(self, small_inst,
+                                               machine, tmp_path):
+        """A v2 profile (PR 4: profiles doubled as the training store)
+        loads its inline observations into the legacy list — ready for
+        migration into an ObservationStore — and still warm-starts."""
+        import json
+
+        profile, decision = self._cold_profile(small_inst, machine)
+        v2_path = tmp_path / "v2.json"
+        v2_path.write_text(json.dumps({
+            "version": 2,
+            "machine": machine.name,
+            "entries": profile.entries,
+            "observations": profile.observations,
+        }))
+        loaded = load_profile(v2_path)
+        assert loaded.n_observations == profile.n_observations > 0
+        # non-empty legacy observations keep round-tripping (data is
+        # never silently dropped by a plain load/save cycle)
+        out = tmp_path / "resaved.json"
+        save_profile(loaded, out)
+        assert json.loads(out.read_text())["observations"] \
+            == profile.observations
+        warm_tuner = Autotuner(candidates=CANDIDATES, mode="simulated",
+                               expected_solves=1e15, seed=0)
+        warm = warm_tuner.tune(small_inst, machine, n_cores=N_CORES,
+                               profile=loaded)
+        assert warm.source == "profile"
+        assert warm.scheduler == decision.scheduler
+
     def test_unknown_version_still_raises(self, tmp_path):
         path = tmp_path / "future.json"
-        path.write_text('{"version": 3, "entries": {}}')
+        path.write_text('{"version": 99, "entries": {}}')
         with pytest.raises(ConfigurationError):
             load_profile(path)
 
@@ -1029,9 +1061,15 @@ class TestProfileMigration:
         p.observations = [{"features": features.as_dict(),
                            "scheduler": "serial", "seconds": 1.0}
                           ] * cap
-        p.add_observation(features, "growlocal", 2.0)
+        # satellite regression: the drop past the bound is surfaced as
+        # a returned count, never silent
+        assert p.add_observation(features, "growlocal", 2.0) == 1
         assert p.n_observations == cap
         assert p.observations[-1]["scheduler"] == "growlocal"
+        assert p.add_observation(features, "hdagg", 3.0,
+                                 mode="simulated") == 1
+        under = TuningProfile()
+        assert under.add_observation(features, "serial", 1.0) == 0
 
 
 class TestLearnedPriorReviewRegressions:
@@ -1125,9 +1163,9 @@ class TestLearnedPriorReviewRegressions:
                                   "machine": machine.name,
                                   "entries": profile.entries}))
         assert load_profile(v1).version == 1
-        v2 = tmp_path / "v2.json"
-        save_profile(load_profile(v1), v2)
-        assert load_profile(v2).version == 2
+        v3 = tmp_path / "v3.json"
+        save_profile(load_profile(v1), v3)
+        assert load_profile(v3).version == 3
 
     def test_fit_filters_to_one_measurement_mode(self, small_inst):
         """Simulated and wall-clock seconds must never pool into one
