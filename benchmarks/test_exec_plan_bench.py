@@ -13,11 +13,14 @@ the scheduled path, mirroring the reuse scenarios of Table 7.6.
 can exercise the perf floor on every push.
 """
 
+import importlib.util
 import os
 
 import numpy as np
+import pytest
 
 from repro.exec import compile_plan, get_backend
+from repro.experiments.bench import make_deep_narrow, make_wide_shallow
 from repro.experiments.tables import format_table
 from repro.graph.dag import DAG
 from repro.matrix.generators import erdos_renyi_lower
@@ -29,6 +32,9 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 N = 4_000 if SMOKE else 10_000
 DENSITY = 2e-3
 REPEATS = 5
+
+HAS_NUMBA = importlib.util.find_spec("numba") is not None
+needs_numba = pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
 
 
 def _median_time(fn, repeats=REPEATS):
@@ -98,3 +104,86 @@ def test_plan_vs_per_row_loop_speedup(benchmark):
     assert t_compile.elapsed < 100 * loop_exec
 
     benchmark(lambda: backend.solve(plan, b))
+
+
+def _require_threads(minimum: int = 2) -> int:
+    """Skip parallel-vs-sequential floors on single-threaded runners —
+    a prange over one thread is the sequential sweep plus overhead."""
+    import numba
+
+    threads = numba.get_num_threads()
+    if threads < minimum:
+        pytest.skip(f"parallel floor needs >= {minimum} numba threads, "
+                    f"have {threads}")
+    return threads
+
+
+@needs_numba
+def test_parallel_tier_beats_sequential_numba_on_wide_shallow():
+    """The prange tier must win where the plan exposes parallelism.
+
+    Wide-shallow corpus: a handful of dependency layers, thousands of
+    mutually independent rows each.  ``numba-parallel`` (fusion disabled
+    — every batch goes to the prange kernel) must beat the sequential
+    ``numba`` sweep.  Conservative floor: any real multi-core win clears
+    it; a regression to sequential dispatch does not.
+    """
+    threads = _require_threads()
+    lower = make_wide_shallow(
+        levels=8, width=2_000 if SMOKE else 10_000, seed=0
+    )
+    plan = compile_plan(lower, fuse_threshold=0)
+    b = np.linspace(1.0, 2.0, lower.n)
+    seq = get_backend("numba")
+    par = get_backend("numba-parallel")
+
+    np.testing.assert_array_equal(  # also warms both kernels
+        seq.solve(plan, b), par.solve(plan, b)
+    )
+    t_seq = _median_time(lambda: seq.solve(plan, b))
+    t_par = _median_time(lambda: par.solve(plan, b))
+
+    speedup = t_seq / t_par
+    print(f"\nwide-shallow (n={lower.n}, {plan.n_batches} batches, "
+          f"{threads} threads): numba {t_seq:.5f}s, numba-parallel "
+          f"{t_par:.5f}s -> {speedup:.2f}x")
+    assert speedup > 1.05, (
+        f"numba-parallel only {speedup:.2f}x vs sequential numba on the "
+        f"wide-shallow corpus ({threads} threads)"
+    )
+
+
+@needs_numba
+def test_fused_beats_unfused_parallel_on_deep_narrow():
+    """Fusion must kill per-layer dispatch where layers are tiny.
+
+    Deep-narrow corpus: a dependency chain, one row per batch.  The
+    default-threshold plan fuses the whole chain into a handful of
+    sequential sweeps; the unfused plan pays one kernel dispatch (plus a
+    parallel-region fork/join) per row.  The fused path must win by a
+    wide margin — the floor is far below the measured gap but far above
+    noise.
+    """
+    import numba  # noqa: F401 - guard above
+
+    lower = make_deep_narrow(n=4_000 if SMOKE else 20_000, seed=1)
+    fused_plan = compile_plan(lower)
+    unfused_plan = compile_plan(lower, fuse_threshold=0)
+    assert fused_plan.n_fused_groups < fused_plan.n_batches
+    b = np.linspace(1.0, 2.0, lower.n)
+    par = get_backend("numba-parallel")
+
+    np.testing.assert_array_equal(  # also warms both dispatch paths
+        par.solve(fused_plan, b), par.solve(unfused_plan, b)
+    )
+    t_fused = _median_time(lambda: par.solve(fused_plan, b))
+    t_unfused = _median_time(lambda: par.solve(unfused_plan, b))
+
+    speedup = t_unfused / t_fused
+    print(f"\ndeep-narrow (n={lower.n}, {unfused_plan.n_batches} batches "
+          f"-> {fused_plan.n_fused_groups} fused groups): unfused "
+          f"{t_unfused:.5f}s, fused {t_fused:.5f}s -> {speedup:.2f}x")
+    assert speedup >= 3.0, (
+        f"fused dispatch only {speedup:.2f}x over per-batch dispatch on "
+        f"the deep-narrow corpus"
+    )

@@ -10,9 +10,13 @@ pools, sharding, native kernels) plugs into:
   indices, precompiled diagonals (validated once, at compile time) and
   per-core program order;
 * :mod:`~repro.exec.backends` — the pluggable kernel registry
-  (``numpy`` vectorized batches by default, ``numba`` auto-detected with
-  graceful fallback) consuming plans instead of walking CSR rows in
-  Python;
+  (``numpy`` vectorized batches always available; the JIT tiers
+  ``numba`` and ``numba-parallel`` auto-detected with graceful
+  fallback, preferred in measured speed order) consuming plans instead
+  of walking CSR rows in Python;
+* :mod:`~repro.exec.kernels_numba` — the shared JIT kernel tier
+  (``prange`` batch sweeps, fused small-layer sweeps, persistent
+  artifact cache so warm processes never recompile);
 * :mod:`~repro.exec.cost` — the single plan-based cost kernel shared by
   the BSP, asynchronous and serial machine simulators;
 * :mod:`~repro.exec.plan_cache` — a keyed, thread-safe LRU
@@ -25,19 +29,26 @@ from repro.exec.backends import (
     ExecutionBackend,
     NumbaBackend,
     NumpyBackend,
+    ParallelNumbaBackend,
     available_backends,
     get_backend,
     list_backends,
     register_backend,
 )
-from repro.exec.plan import ExecutionPlan, compile_plan
+from repro.exec.plan import (
+    DEFAULT_FUSE_THRESHOLD,
+    ExecutionPlan,
+    compile_plan,
+)
 from repro.exec.plan_cache import PlanCache
 
 __all__ = [
+    "DEFAULT_FUSE_THRESHOLD",
     "ExecutionBackend",
     "ExecutionPlan",
     "NumbaBackend",
     "NumpyBackend",
+    "ParallelNumbaBackend",
     "PlanCache",
     "available_backends",
     "compile_plan",

@@ -7,16 +7,29 @@ accelerators) plugs in behind the same boundary:
 
 * ``numpy`` — always available; one vectorized gather / segment-sum /
   scatter per dependency batch;
-* ``numba`` — auto-detected; a JIT-compiled sequential sweep over the
-  plan's flat arrays (fastest when numba is installed, and a template for
-  future native backends).  When numba is missing the registry falls back
-  to ``numpy`` silently during auto-selection, and raises
-  :class:`~repro.errors.BackendUnavailableError` only when the backend is
-  requested by name.
+* ``numba`` — auto-detected; a JIT-compiled *sequential* sweep over the
+  plan's flat arrays (no interpreter in the inner loop, but one thread);
+* ``numba-parallel`` — auto-detected; the parallel kernel tier of
+  :mod:`~repro.exec.kernels_numba`: ``prange`` over the rows of each
+  large dependency batch, and runs of consecutive small batches fused
+  into single sequential JIT sweeps (grouping precomputed in the plan's
+  ``fused_ptr``), so deep narrow layer structure does not pay per-layer
+  dispatch.
+
+Measured tiering (see ``BENCH_exec.json`` / ``tools/bench_report.py``
+for the tracked floors): ``numba-parallel`` > ``numba`` > ``numpy`` —
+the parallel tier wins on wide batches by using every core and ties the
+sequential sweep elsewhere via fusion; the sequential JIT sweep beats
+``numpy`` by removing the interpreter from the inner loop.  When numba
+is missing the registry falls back along that order silently during
+auto-selection (unavailability is probed once per process and cached),
+and raises :class:`~repro.errors.BackendUnavailableError` only when an
+unavailable backend is requested by name.
 
 Selection order for :func:`get_backend` with no argument: the
-``REPRO_EXEC_BACKEND`` environment variable if set, else ``numba`` when
-importable, else ``numpy``.
+``REPRO_EXEC_BACKEND`` environment variable if set (unknown names raise
+:class:`~repro.errors.ConfigurationError`), else the fastest available
+tier: ``numba-parallel``, then ``numba``, then ``numpy``.
 """
 
 from __future__ import annotations
@@ -37,7 +50,9 @@ __all__ = [
     "ExecutionBackend",
     "NumpyBackend",
     "NumbaBackend",
+    "ParallelNumbaBackend",
     "available_backends",
+    "fused_dispatch",
     "get_backend",
     "list_backends",
     "register_backend",
@@ -265,8 +280,13 @@ class NumbaBackend(ExecutionBackend):
 
     The plan's batch order is a topological execution order, so a single
     machine-code loop over positions is correct; numba removes the
-    interpreter from the inner loop entirely.  Constructing this backend
-    without numba installed raises :class:`BackendUnavailableError`.
+    interpreter from the inner loop entirely.  The measured middle tier:
+    faster than ``numpy`` (no per-layer Python dispatch), slower than
+    ``numba-parallel`` on wide batches (one thread).  Runs the shared
+    kernels of :mod:`~repro.exec.kernels_numba`, so its results are
+    bitwise identical to the parallel/fused tier.  Constructing this
+    backend without numba installed raises
+    :class:`BackendUnavailableError`.
 
     Examples
     --------
@@ -274,54 +294,22 @@ class NumbaBackend(ExecutionBackend):
     >>> NumbaBackend().name                     # doctest: +SKIP
     'numba'
     >>> from repro.exec import get_backend      # graceful fallback:
-    >>> get_backend().name in ("numba", "numpy")
+    >>> get_backend().name in ("numba-parallel", "numba", "numpy")
     True
     """
 
     name = "numba"
 
+    # pragma-no-cover rationale: the CI matrix exercises the numba tier
+    # only on the legs that install numba; the container default has none.
     def __init__(self) -> None:
-        try:
-            import numba
-        except ImportError as exc:  # pragma: no cover - env-dependent
+        from repro.exec import kernels_numba
+
+        if not kernels_numba.have_numba():
             raise BackendUnavailableError(
-                "the 'numba' backend requires the numba package"
-            ) from exc
-        self._njit = numba.njit
-        self._kernel = None
-        self._block_kernel = None
-
-    # pragma-no-cover rationale: the CI matrix exercises this only on the
-    # legs that install numba; the container default has none.
-    def _compiled(self):  # pragma: no cover - requires numba
-        if self._kernel is None:
-            @self._njit(cache=True)
-            def kernel(rows, off_ptr, off_cols, off_vals, diag, b, x):
-                for k in range(rows.size):
-                    i = rows[k]
-                    acc = b[i]
-                    for t in range(off_ptr[k], off_ptr[k + 1]):
-                        acc -= off_vals[t] * x[off_cols[t]]
-                    x[i] = acc / diag[k]
-
-            self._kernel = kernel
-        return self._kernel
-
-    def _compiled_block(self):  # pragma: no cover - requires numba
-        if self._block_kernel is None:
-            @self._njit(cache=True)
-            def kernel(rows, off_ptr, off_cols, off_vals, diag, b, x):
-                width = b.shape[1]
-                for k in range(rows.size):
-                    i = rows[k]
-                    for c in range(width):
-                        acc = b[i, c]
-                        for t in range(off_ptr[k], off_ptr[k + 1]):
-                            acc -= off_vals[t] * x[off_cols[t], c]
-                        x[i, c] = acc / diag[k]
-
-            self._block_kernel = kernel
-        return self._block_kernel
+                f"the {self.name!r} backend requires the numba package"
+            )
+        self._kernels = kernels_numba.jit_kernels()  # pragma: no cover
 
     def solve(
         self,
@@ -335,9 +323,9 @@ class NumbaBackend(ExecutionBackend):
             x = np.zeros(plan.n)
         else:
             x = self._check_out(x, (plan.n,))
-        self._compiled()(
+        self._kernels.sweep(
             plan.rows, plan.off_ptr, plan.off_cols, plan.off_vals,
-            plan.diag, b, x,
+            plan.diag, b, x, 0, plan.n,
         )
         return x
 
@@ -353,10 +341,117 @@ class NumbaBackend(ExecutionBackend):
             x_block = np.zeros(b_block.shape)
         else:
             x_block = self._check_out(x_block, b_block.shape)
-        self._compiled_block()(
+        self._kernels.sweep_block(
+            plan.rows, plan.off_ptr, plan.off_cols, plan.off_vals,
+            plan.diag, b_block, x_block, 0, plan.n,
+        )
+        return x_block
+
+
+def fused_dispatch(plan: ExecutionPlan) -> list[tuple[int, int, bool]]:
+    """The parallel backend's per-group dispatch decisions for ``plan``.
+
+    Returns ``(lo, hi, parallel)`` position spans, one per fusion group:
+    ``parallel`` groups are single batches with at least
+    ``fuse_threshold`` rows (worth a ``prange`` fork/join); everything
+    else — fused runs of small batches, or isolated small batches — runs
+    as one sequential sweep.  Pure plan arithmetic, so the dispatch
+    policy is testable without numba.
+
+    Examples
+    --------
+    >>> from repro.exec import compile_plan
+    >>> from repro.exec.backends import fused_dispatch
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> plan = compile_plan(narrow_band_lower(60, 0.2, 4.0, seed=0))
+    >>> spans = fused_dispatch(plan)
+    >>> (spans[0][0], spans[-1][1])     # spans tile all positions
+    (0, 60)
+    """
+    batch_ptr, fused_ptr = plan.batch_ptr, plan.fused_ptr
+    threshold = max(int(plan.fuse_threshold), 1)
+    out = []
+    for g in range(plan.n_fused_groups):
+        b0, b1 = int(fused_ptr[g]), int(fused_ptr[g + 1])
+        lo, hi = int(batch_ptr[b0]), int(batch_ptr[b1])
+        out.append((lo, hi, b1 - b0 == 1 and hi - lo >= threshold))
+    return out
+
+
+class ParallelNumbaBackend(ExecutionBackend):
+    """The parallel kernel tier: ``prange`` batches plus fused sweeps.
+
+    Executes the plan one fusion group at a time (see
+    :func:`fused_dispatch`): large dependency batches go to a
+    ``parallel=True`` kernel whose ``prange`` spans the batch's mutually
+    independent rows; runs of consecutive small batches — precomputed
+    into the plan's ``fused_ptr`` — execute as a single sequential JIT
+    sweep, so a deep narrow DAG costs a handful of kernel calls instead
+    of one dispatch plus one fork/join per tiny layer.  All kernels share
+    one scalar accumulation order (:mod:`~repro.exec.kernels_numba`), so
+    results are bitwise identical to the sequential ``numba`` backend and
+    column-for-column across ``solve``/``solve_block``.  The measured top
+    tier; auto-selection prefers it.  Constructing without numba raises
+    :class:`BackendUnavailableError`.
+
+    Examples
+    --------
+    >>> from repro.exec.backends import ParallelNumbaBackend
+    >>> ParallelNumbaBackend().name             # doctest: +SKIP
+    'numba-parallel'
+    """
+
+    name = "numba-parallel"
+
+    def __init__(self) -> None:
+        from repro.exec import kernels_numba
+
+        if not kernels_numba.have_numba():
+            raise BackendUnavailableError(
+                f"the {self.name!r} backend requires the numba package"
+            )
+        self._kernels = kernels_numba.jit_kernels()  # pragma: no cover
+
+    def solve(
+        self,
+        plan: ExecutionPlan,
+        b: np.ndarray,
+        x: np.ndarray | None = None,
+    ) -> np.ndarray:  # pragma: no cover - requires numba
+        plan.require_solvable()
+        b = np.ascontiguousarray(self._check_rhs(plan, b))
+        if x is None:
+            x = np.zeros(plan.n)
+        else:
+            x = self._check_out(x, (plan.n,))
+        k = self._kernels
+        args = (
+            plan.rows, plan.off_ptr, plan.off_cols, plan.off_vals,
+            plan.diag, b, x,
+        )
+        for lo, hi, parallel in fused_dispatch(plan):
+            (k.psweep if parallel else k.sweep)(*args, lo, hi)
+        return x
+
+    def solve_block(
+        self,
+        plan: ExecutionPlan,
+        b_block: np.ndarray,
+        x_block: np.ndarray | None = None,
+    ) -> np.ndarray:  # pragma: no cover - requires numba
+        plan.require_solvable()
+        b_block = np.ascontiguousarray(self._check_rhs_block(plan, b_block))
+        if x_block is None:
+            x_block = np.zeros(b_block.shape)
+        else:
+            x_block = self._check_out(x_block, b_block.shape)
+        k = self._kernels
+        args = (
             plan.rows, plan.off_ptr, plan.off_cols, plan.off_vals,
             plan.diag, b_block, x_block,
         )
+        for lo, hi, parallel in fused_dispatch(plan):
+            (k.psweep_block if parallel else k.sweep_block)(*args, lo, hi)
         return x_block
 
 
@@ -390,6 +485,10 @@ def solve_rows_ref(
 # ---------------------------------------------------------------------------
 _FACTORIES: dict[str, Callable[[], ExecutionBackend]] = {}
 _INSTANCES: dict[str, ExecutionBackend] = {}
+#: Factories that raised BackendUnavailableError, memoized so the (slow)
+#: availability probe — e.g. the numba import — runs once per process,
+#: not on every available_backends()/get_backend() call.
+_UNAVAILABLE: dict[str, BackendUnavailableError] = {}
 
 
 def register_backend(
@@ -402,7 +501,8 @@ def register_backend(
 
     The factory is called lazily on first :func:`get_backend` lookup; it
     should raise :class:`BackendUnavailableError` when the environment
-    cannot support the backend.
+    cannot support the backend.  Re-registering a name clears any cached
+    unavailability verdict for it.
 
     Examples
     --------
@@ -420,6 +520,7 @@ def register_backend(
         raise ConfigurationError(f"backend {name!r} is already registered")
     _FACTORIES[name] = factory
     _INSTANCES.pop(name, None)
+    _UNAVAILABLE.pop(name, None)
 
 
 def list_backends() -> list[str]:
@@ -436,6 +537,10 @@ def list_backends() -> list[str]:
 
 def available_backends() -> list[str]:
     """Registered backends that can actually run here.
+
+    Unavailability verdicts are cached per process (see
+    :data:`_UNAVAILABLE`), so repeated calls — the CLI, the service, the
+    tuner all consult this — never re-run a slow import probe.
 
     Examples
     --------
@@ -454,6 +559,8 @@ def available_backends() -> list[str]:
 
 
 def _instantiate(name: str) -> ExecutionBackend:
+    if name in _UNAVAILABLE:
+        raise _UNAVAILABLE[name]
     if name not in _INSTANCES:
         try:
             factory = _FACTORIES[name]
@@ -461,24 +568,35 @@ def _instantiate(name: str) -> ExecutionBackend:
             raise ConfigurationError(
                 f"unknown backend {name!r}; registered: {list_backends()}"
             ) from None
-        _INSTANCES[name] = factory()
+        try:
+            _INSTANCES[name] = factory()
+        except BackendUnavailableError as exc:
+            _UNAVAILABLE[name] = exc
+            raise
     return _INSTANCES[name]
+
+
+#: Auto-selection preference, fastest first (the measured tiering the
+#: bench floors in ``benchmarks/test_exec_plan_bench.py`` enforce).
+_AUTO_ORDER = ("numba-parallel", "numba", "numpy")
 
 
 def get_backend(name: str | None = None) -> ExecutionBackend:
     """Resolve a backend instance.
 
     ``name=None`` auto-selects: the ``REPRO_EXEC_BACKEND`` environment
-    variable when set, else the fastest available backend (``numba`` when
-    importable, falling back to ``numpy``).  Passing an explicit ``name``
-    raises :class:`BackendUnavailableError` if that backend cannot run.
+    variable when set — an unknown name there raises
+    :class:`~repro.errors.ConfigurationError` naming the variable — else
+    the fastest available tier, in measured order ``numba-parallel`` >
+    ``numba`` > ``numpy``.  Passing an explicit ``name`` raises
+    :class:`BackendUnavailableError` if that backend cannot run.
 
     Examples
     --------
     >>> from repro.exec import get_backend
     >>> get_backend("numpy").name
     'numpy'
-    >>> get_backend().name in ("numba", "numpy")   # auto-selection
+    >>> get_backend().name in ("numba-parallel", "numba", "numpy")
     True
     """
     if isinstance(name, ExecutionBackend):
@@ -487,12 +605,22 @@ def get_backend(name: str | None = None) -> ExecutionBackend:
         return _instantiate(name)
     env = os.environ.get(BACKEND_ENV_VAR)
     if env:
+        if env not in _FACTORIES:
+            raise ConfigurationError(
+                f"{BACKEND_ENV_VAR}={env!r} selects an unknown backend; "
+                f"registered: {list_backends()}"
+            )
         return _instantiate(env)
-    try:
-        return _instantiate("numba")
-    except BackendUnavailableError:
-        return _instantiate("numpy")
+    for candidate in _AUTO_ORDER:
+        try:
+            return _instantiate(candidate)
+        except BackendUnavailableError:
+            continue
+    raise BackendUnavailableError(  # pragma: no cover - numpy always runs
+        "no execution backend is available"
+    )
 
 
 register_backend("numpy", NumpyBackend)
 register_backend("numba", NumbaBackend)
+register_backend("numba-parallel", ParallelNumbaBackend)

@@ -31,6 +31,15 @@ simulated machine) are concatenated into ``core_rows`` / ``core_ptr`` so the
 BSP, asynchronous and serial simulators can share one plan-based cost
 kernel.
 
+*Fusion groups.*  Runs of consecutive *small* batches (fewer rows than
+``fuse_threshold``) are grouped once at compile time into ``fused_ptr``:
+the parallel backend executes each such run as a single sequential JIT
+sweep instead of paying one kernel dispatch (and one parallel-region
+fork/join) per tiny dependency layer — the known cliff for deep, narrow
+DAGs.  Fusion is a pure grouping of the existing batch order, so it never
+changes results; a threshold of ``0`` disables it (every batch its own
+group).
+
 Compiling is a one-time cost per ``(matrix, schedule)`` pair; every
 consumer — repeated triangular solves inside CG/Gauss-Seidel, the machine
 simulators, the experiment runner — reuses the plan.
@@ -38,14 +47,27 @@ simulators, the experiment runner — reuses the plan.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro.errors import MatrixFormatError, SingularMatrixError
+from repro.errors import ConfigurationError, MatrixFormatError, \
+    SingularMatrixError
 from repro.matrix.csr import CSRMatrix
 from repro.scheduler.schedule import Schedule
 from repro.utils.arrays import segmented_gather
 
-__all__ = ["ExecutionPlan", "compile_plan"]
+__all__ = ["DEFAULT_FUSE_THRESHOLD", "ExecutionPlan", "compile_plan"]
+
+#: Batches with fewer rows than this are fusion candidates: runs of
+#: consecutive small batches execute as one sequential JIT sweep instead
+#: of one parallel kernel dispatch per layer.  Also the parallel
+#: backend's cutoff for going wide on an unfused batch — below it, the
+#: fork/join overhead of a parallel region exceeds the row work.
+DEFAULT_FUSE_THRESHOLD = 64
+
+#: Environment variable overriding the compile-time fusion threshold.
+FUSE_ENV_VAR = "REPRO_FUSE_THRESHOLD"
 
 
 class ExecutionPlan:
@@ -82,6 +104,14 @@ class ExecutionPlan:
     core_rows / core_ptr:
         Per-core program order: core ``p`` executes
         ``core_rows[core_ptr[p]:core_ptr[p+1]]``.
+    fused_ptr:
+        ``int64[n_fused_groups + 1]`` — fusion group ``g`` spans batches
+        ``fused_ptr[g]:fused_ptr[g+1]``; groups longer than one batch are
+        runs of consecutive batches all smaller than ``fuse_threshold``,
+        executed as a single sequential sweep by the parallel backend.
+    fuse_threshold:
+        The row-count threshold ``fused_ptr`` was computed with (``0``
+        when fusion is disabled).
     row_step:
         ``int64[n]`` — superstep per *row id* (all zeros for serial plans).
     singular_row:
@@ -115,11 +145,19 @@ class ExecutionPlan:
         "core_rows",
         "core_ptr",
         "row_step",
+        "fused_ptr",
+        "fuse_threshold",
         "singular_row",
         "_singular_reason",
     )
 
     def __init__(self, **fields: object) -> None:
+        # direct constructions predating the fusion fields stay valid:
+        # an absent grouping degrades to one group per batch (unfused)
+        if "fused_ptr" not in fields:
+            n_batches = fields["batch_ptr"].size - 1
+            fields["fused_ptr"] = np.arange(n_batches + 1, dtype=np.int64)
+            fields.setdefault("fuse_threshold", 0)
         for name in self.__slots__:
             setattr(self, name, fields[name])
 
@@ -147,6 +185,11 @@ class ExecutionPlan:
         if self.batch_step.size == 0:
             return 0
         return int(self.batch_step.max()) + 1
+
+    @property
+    def n_fused_groups(self) -> int:
+        """Number of fusion groups (== ``n_batches`` when unfused)."""
+        return int(self.fused_ptr.size) - 1
 
     @property
     def nnz_off(self) -> int:
@@ -232,12 +275,47 @@ def _levelize(
     return level
 
 
+def _fuse_batches(batch_ptr: np.ndarray, threshold: int) -> np.ndarray:
+    """Group runs of consecutive small batches into ``fused_ptr``.
+
+    A batch boundary survives unless *both* adjacent batches have fewer
+    than ``threshold`` rows — so large batches are always their own group
+    (they go to the parallel kernel) and maximal runs of small batches
+    collapse into one group (one sequential sweep).  ``threshold <= 0``
+    keeps every boundary (unfused).
+    """
+    n_batches = batch_ptr.size - 1
+    if n_batches <= 0:
+        return np.zeros(1, dtype=np.int64)
+    small = np.diff(batch_ptr) < threshold
+    keep = ~(small[1:] & small[:-1])
+    return np.concatenate(
+        ([0], np.flatnonzero(keep) + 1, [n_batches])
+    ).astype(np.int64)
+
+
+def _resolve_fuse_threshold(fuse_threshold: int | None) -> int:
+    """The effective fusion threshold: argument, env var, or default."""
+    if fuse_threshold is not None:
+        return max(int(fuse_threshold), 0)
+    env = os.environ.get(FUSE_ENV_VAR)
+    if env:
+        try:
+            return max(int(env), 0)
+        except ValueError:
+            raise ConfigurationError(
+                f"{FUSE_ENV_VAR}={env!r} is not an integer"
+            ) from None
+    return DEFAULT_FUSE_THRESHOLD
+
+
 def compile_plan(
     matrix: CSRMatrix,
     schedule: Schedule | None = None,
     *,
     direction: str = "forward",
     check_diagonal: bool = True,
+    fuse_threshold: int | None = None,
 ) -> ExecutionPlan:
     """Lower ``(matrix, schedule)`` into an :class:`ExecutionPlan`.
 
@@ -259,6 +337,12 @@ def compile_plan(
         :class:`~repro.errors.SingularMatrixError` here, at compile time.
         The machine simulators pass ``False`` — cost models only need the
         structure.
+    fuse_threshold:
+        Row-count threshold below which consecutive batches are fused
+        into one sequential sweep group (see ``fused_ptr``).  ``None``
+        (the default) reads ``REPRO_FUSE_THRESHOLD`` from the
+        environment, falling back to :data:`DEFAULT_FUSE_THRESHOLD`;
+        ``0`` disables fusion.
 
     Examples
     --------
@@ -372,12 +456,16 @@ def compile_plan(
             else np.arange(n - 1, -1, -1, dtype=np.int64)
         )
 
+    threshold = _resolve_fuse_threshold(fuse_threshold)
+
     return ExecutionPlan(
         matrix=matrix,
         schedule=schedule,
         direction=direction,
         rows=rows,
         batch_ptr=batch_ptr,
+        fused_ptr=_fuse_batches(batch_ptr, threshold),
+        fuse_threshold=threshold,
         batch_step=batch_step,
         off_ptr=off_ptr,
         off_cols=off_cols,

@@ -1,0 +1,391 @@
+"""Reusable micro-benchmark library: the repo's tracked perf trajectory.
+
+One measurement library behind two entry points — ``repro bench`` (CLI)
+and ``tools/bench_report.py`` (the ``BENCH_*.json`` emitter) — so the
+numbers in the committed trajectory, the CI smoke floors and ad-hoc
+local runs all come from the same corpus builders and timing discipline.
+
+The exec suite measures every kernel tier on three canonical plan
+shapes, chosen to separate the tiers:
+
+* **wide-shallow** — few dependency layers, thousands of mutually
+  independent rows each: the ``prange`` regime, where
+  ``numba-parallel`` must beat the sequential ``numba`` sweep;
+* **deep-narrow** — a dependency chain (one or two rows per layer):
+  the per-layer dispatch cliff, where the fused small-batch sweep must
+  beat unfused per-batch dispatch;
+* **block-k** — a wide-shallow SpTRSM with a 16-column RHS block, the
+  micro-batched serving shape.
+
+Tier names in the emitted tables: ``serial-loop`` (seed per-row Python
+kernel), ``numpy``, ``numba`` (sequential JIT sweep), ``numba-parallel``
+(per-batch ``prange``, fusion disabled) and ``fused``
+(``numba-parallel`` with the default fusion threshold).  Tiers that
+cannot run here (no numba) report ``None`` rather than being silently
+dropped.
+
+All corpora are seeded; timings are medians over repeats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.exec import PlanCache, compile_plan, get_backend
+from repro.exec.kernels_numba import have_numba
+from repro.matrix.csr import CSRMatrix
+from repro.matrix.generators import narrow_band_lower
+from repro.solver.sptrsv import solve_rows
+from repro.utils.timing import Timer
+
+__all__ = [
+    "bench_exec",
+    "bench_service",
+    "bench_tuner",
+    "make_deep_narrow",
+    "make_wide_shallow",
+    "warm_start_check",
+]
+
+#: RHS block width of the block-k shape (the service's micro-batch scale).
+BLOCK_K = 16
+
+
+def _median(fn, repeats: int = 3) -> float:
+    times = []
+    for _ in range(repeats):
+        with Timer() as t:
+            fn()
+        times.append(t.elapsed)
+    return float(np.median(times))
+
+
+# ---------------------------------------------------------------------------
+# corpus builders
+# ---------------------------------------------------------------------------
+def _assemble(
+    n: int, rows: np.ndarray, cols: np.ndarray, seed: int
+) -> CSRMatrix:
+    """Lower-triangular matrix from a strict-lower pattern, diagonally
+    dominant by construction.
+
+    Bench corpora run recurrences tens of thousands of rows deep (the
+    deep-narrow chain); the paper's value distributions amplify along
+    such chains and overflow, so each row's off-diagonal mass is scaled
+    below its unit-plus diagonal instead.
+    """
+    rng = np.random.default_rng(seed)
+    vals = rng.uniform(0.1, 0.9, size=rows.size) * rng.choice(
+        (-1.0, 1.0), size=rows.size
+    )
+    counts = np.bincount(rows, minlength=n)
+    vals /= np.maximum(counts, 1)[rows]
+    diag_idx = np.arange(n, dtype=np.int64)
+    return CSRMatrix.from_coo(
+        n,
+        np.concatenate([rows, diag_idx]),
+        np.concatenate([cols, diag_idx]),
+        np.concatenate([vals, rng.uniform(1.0, 2.0, size=n)]),
+    )
+
+
+def make_wide_shallow(
+    *, levels: int = 8, width: int = 4_000, deps: int = 4, seed: int = 0
+) -> CSRMatrix:
+    """A few dependency layers of ``width`` mutually independent rows.
+
+    Every row of level ``l > 0`` depends on ``deps`` random rows of level
+    ``l - 1``, so the serial plan has exactly ``levels`` batches of
+    ``width`` rows — the regime where a ``prange`` over the batch uses
+    every core.
+
+    Examples
+    --------
+    >>> from repro.exec import compile_plan
+    >>> from repro.experiments.bench import make_wide_shallow
+    >>> plan = compile_plan(make_wide_shallow(levels=3, width=50, seed=0))
+    >>> plan.n_batches
+    3
+    """
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    for lvl in range(1, levels):
+        base = lvl * width
+        r = np.repeat(np.arange(base, base + width, dtype=np.int64), deps)
+        c = rng.integers(base - width, base, size=r.size, dtype=np.int64)
+        rows.append(r)
+        cols.append(c)
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    # dedup (row, col) pairs: from_coo would sum duplicate entries, which
+    # is fine numerically but skews nnz accounting
+    n = levels * width
+    keys = np.unique(r * np.int64(n) + c)
+    return _assemble(n, keys // np.int64(n), keys % np.int64(n), seed)
+
+
+def make_deep_narrow(*, n: int = 20_000, seed: int = 0) -> CSRMatrix:
+    """A dependency chain: row ``i`` depends on rows ``i-1`` and ``i-2``.
+
+    The serial plan degenerates to ``n`` single-row batches — the
+    per-layer dispatch cliff the fused kernel exists for.
+
+    Examples
+    --------
+    >>> from repro.exec import compile_plan
+    >>> from repro.experiments.bench import make_deep_narrow
+    >>> plan = compile_plan(make_deep_narrow(n=100, seed=0))
+    >>> plan.n_batches
+    100
+    """
+    i = np.arange(1, n, dtype=np.int64)
+    rows = np.concatenate([i, i[1:]])
+    cols = np.concatenate([i - 1, i[1:] - 2])
+    return _assemble(n, rows, cols, seed)
+
+
+# ---------------------------------------------------------------------------
+# exec suite
+# ---------------------------------------------------------------------------
+def _time_tiers(
+    matrix: CSRMatrix, k: int | None, repeats: int
+) -> dict[str, object]:
+    """Per-tier median solve seconds for one corpus matrix.
+
+    ``k=None`` measures single-RHS ``solve``; an integer measures
+    ``solve_block`` with a ``(n, k)`` RHS.  The ``numba-parallel`` tier
+    runs an unfused plan (``fuse_threshold=0``) and ``fused`` the default
+    threshold, so their delta isolates what fusion buys.
+    """
+    n = matrix.n
+    plan = compile_plan(matrix)
+    unfused = compile_plan(matrix, fuse_threshold=0)
+    rng = np.random.default_rng(3)
+    b = rng.standard_normal(n) if k is None else rng.standard_normal((n, k))
+
+    def runner(backend, p):
+        if k is None:
+            return lambda: backend.solve(p, b)
+        return lambda: backend.solve_block(p, b)
+
+    seconds: dict[str, float | None] = {}
+
+    order = np.arange(n, dtype=np.int64)
+    x = np.zeros(n)
+
+    def serial_loop():
+        if k is None:
+            x.fill(0.0)
+            solve_rows(matrix, b, x, order)
+        else:
+            for c in range(k):
+                x.fill(0.0)
+                solve_rows(matrix, b[:, c], x, order)
+
+    seconds["serial-loop"] = _median(serial_loop, repeats=1)
+    seconds["numpy"] = _median(runner(get_backend("numpy"), plan), repeats)
+
+    if have_numba():  # pragma: no cover - requires numba
+        for tier, backend_name, p in (
+            ("numba", "numba", plan),
+            ("numba-parallel", "numba-parallel", unfused),
+            ("fused", "numba-parallel", plan),
+        ):
+            fn = runner(get_backend(backend_name), p)
+            fn()  # warm-up: JIT compile / cache load outside the timing
+            seconds[tier] = _median(fn, repeats)
+    else:
+        seconds["numba"] = None
+        seconds["numba-parallel"] = None
+        seconds["fused"] = None
+
+    return {
+        "n": n,
+        "nnz": int(matrix.nnz),
+        "n_batches": plan.n_batches,
+        "n_fused_groups": plan.n_fused_groups,
+        "k": k,
+        "seconds": seconds,
+    }
+
+
+def bench_exec(*, smoke: bool = False) -> dict[str, object]:
+    """Per-backend solve seconds across the three canonical plan shapes.
+
+    Returns the ``BENCH_exec.json`` payload: a ``shapes`` table mapping
+    shape name to size metadata plus per-tier median seconds (``None``
+    for tiers unavailable here).
+    """
+    scale = 1 if smoke else 5
+    repeats = 3 if smoke else 5
+    shapes = {
+        "wide-shallow": (
+            make_wide_shallow(levels=8, width=4_000 * scale, seed=0),
+            None,
+        ),
+        "deep-narrow": (
+            make_deep_narrow(n=8_000 * scale, seed=1),
+            None,
+        ),
+        "block-k": (
+            make_wide_shallow(levels=6, width=1_000 * scale, seed=2),
+            BLOCK_K,
+        ),
+    }
+    return {
+        "suite": "exec",
+        "smoke": smoke,
+        "have_numba": have_numba(),
+        "auto_backend": get_backend().name,
+        "shapes": {
+            name: _time_tiers(matrix, k, repeats)
+            for name, (matrix, k) in shapes.items()
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# service suite
+# ---------------------------------------------------------------------------
+def bench_service(*, smoke: bool = False) -> dict[str, object]:
+    """Micro-batched serving throughput vs sequential solves.
+
+    The ``BENCH_service.json`` payload: seconds for ``k`` requests
+    served sequentially and through the coalescing queue, and the
+    resolved backend tier the numbers are attributable to.
+    """
+    from repro.service import SolveService
+
+    n = 3_000 if smoke else 10_000
+    k = 16 if smoke else 48
+    lower = narrow_band_lower(n, 0.05, 20.0, seed=0)
+    plan = compile_plan(lower)
+    backend = get_backend()
+    rng = np.random.default_rng(7)
+    bs = [rng.standard_normal(n) for b in range(k)]
+
+    [backend.solve(plan, b) for b in bs]  # warm-up
+    t_sequential = _median(lambda: [backend.solve(plan, b) for b in bs])
+
+    with SolveService(backend=backend, max_batch=k) as service:
+        service.register("bench", lower, plan=plan)
+
+        def serve():
+            futures = [service.submit("bench", b) for b in bs]
+            return [f.result() for f in futures]
+
+        serve()  # warm-up
+        t_service = _median(serve)
+        stats = service.stats("bench")
+
+    return {
+        "suite": "service",
+        "smoke": smoke,
+        "n": n,
+        "k": k,
+        "backend": stats.backend,
+        "seconds": {
+            "sequential": t_sequential,
+            "service": t_service,
+        },
+        "speedup": t_sequential / t_service if t_service > 0 else None,
+        "avg_batch": stats.avg_batch_size,
+    }
+
+
+# ---------------------------------------------------------------------------
+# tuner suite
+# ---------------------------------------------------------------------------
+def bench_tuner(*, smoke: bool = False) -> dict[str, object]:
+    """Cold-tune vs profile warm-start seconds.
+
+    The ``BENCH_tuner.json`` payload: a cold :meth:`Autotuner.tune` on a
+    seeded narrow-band instance vs the warm-started re-tune against the
+    recorded profile (feature match, no racing).
+    """
+    from repro.experiments.datasets import DatasetInstance
+    from repro.machine.model import get_machine
+    from repro.tuner import Autotuner, TuningProfile
+
+    n = 2_000 if smoke else 10_000
+    inst = DatasetInstance("bench", narrow_band_lower(n, 0.05, 20.0, seed=0))
+    machine = get_machine("intel_xeon_6238t")
+    cache = PlanCache()
+    profile = TuningProfile()
+    tuner = Autotuner(
+        candidates=("growlocal", "wavefront"), mode="simulated", seed=0
+    )
+
+    with Timer() as t_cold:
+        decision = tuner.tune(
+            inst, machine, plan_cache=cache, profile=profile
+        )
+    with Timer() as t_warm:
+        warm = tuner.tune(inst, machine, plan_cache=cache, profile=profile)
+
+    return {
+        "suite": "tuner",
+        "smoke": smoke,
+        "n": n,
+        "backend": get_backend().name,
+        "scheduler": decision.scheduler,
+        "warm_scheduler": warm.scheduler,
+        "seconds": {
+            "cold_tune": t_cold.elapsed,
+            "warm_start": t_warm.elapsed,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# persistent-JIT warm-start check
+# ---------------------------------------------------------------------------
+def warm_start_check(*, timeout: float = 600.0) -> dict[str, object]:
+    """Prove a second process starts warm: zero JIT compiles.
+
+    Warms every kernel signature in this process (populating the
+    persistent artifact cache of :mod:`~repro.exec.kernels_numba`), then
+    spawns a fresh interpreter that warms the same kernels and reports
+    its compile counters.  ``warm_zero_compiles`` is the contract
+    ``repro bench --report`` (and the CI numba leg) asserts: the second
+    process served every signature from the artifact cache.
+    """
+    if not have_numba():
+        return {"have_numba": False, "skipped": True}
+
+    from repro.exec import kernels_numba  # pragma: no cover
+
+    first = kernels_numba.warm_kernels()
+    src_root = Path(kernels_numba.__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src_root), env.get("PYTHONPATH")) if p
+    )
+    probe = (
+        "import json\n"
+        "from repro.exec.kernels_numba import warm_kernels\n"
+        "print(json.dumps(warm_kernels()))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", probe],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=True,
+    )
+    second = json.loads(out.stdout.strip().splitlines()[-1])
+    return {
+        "have_numba": True,
+        "skipped": False,
+        "cache_dir": str(kernels_numba.jit_cache_dir()),
+        "first_process": first,
+        "second_process": second,
+        "warm_zero_compiles": second["compiles"] == 0,
+    }

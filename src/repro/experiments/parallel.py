@@ -13,7 +13,10 @@ grouping and per-instance order :func:`run_suite` produces.
 Cache counters are aggregated across workers and stamped onto every
 merged :class:`~repro.experiments.runner.ExperimentResult`, so the
 suite-wide compile accounting stays observable no matter how the work
-was sharded.
+was sharded.  Each worker likewise stamps the execution-backend name it
+resolved (``ExperimentResult.backend``) — workers re-probe backend
+availability in their own process, so suite rows always name the kernel
+tier that actually backed them.
 
 Training observations shard the same way: with an ``"auto"`` scheduler
 in the suite and a ``store`` given, every worker collects its shard's

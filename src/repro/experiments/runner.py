@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exec import ExecutionPlan, PlanCache, compile_plan
+from repro.exec import ExecutionPlan, PlanCache, compile_plan, get_backend
 from repro.experiments.datasets import DatasetInstance
 from repro.experiments.metrics import (
     amortization_threshold,
@@ -80,6 +80,11 @@ class ExperimentResult:
     #: produced (suite-wide when :func:`run_suite` shares a cache).
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Resolved execution-backend name solves of this run would execute
+    #: on (``"numpy"``, ``"numba"``, ``"numba-parallel"``, ...), so suite
+    #: rows — including those produced by parallel-suite workers — are
+    #: attributable to a kernel tier.
+    backend: str = ""
 
     def as_row(self) -> dict[str, object]:
         """Plain-dict view for table emitters."""
@@ -292,6 +297,9 @@ def run_instance(
         reordered=entry.reordered,
         plan_cache_hits=cache.hits,
         plan_cache_misses=cache.misses,
+        # cheap: backend availability is resolved once per process and
+        # cached by the registry
+        backend=get_backend().name,
     )
 
 

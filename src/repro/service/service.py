@@ -80,7 +80,7 @@ class _System:
         #: Per-arm measured seconds from the tuning race.
         self.arms: dict[str, float] = {}
 
-    def snapshot(self) -> SystemStats:
+    def snapshot(self, backend: str = "") -> SystemStats:
         return SystemStats(
             key=self.key,
             n_rows=self.plan.n,
@@ -92,6 +92,7 @@ class _System:
             tuned_scheduler=self.tuned_scheduler,
             n_plan_swaps=self.n_plan_swaps,
             arm_seconds=dict(self.arms),
+            backend=backend,
         )
 
 
@@ -465,7 +466,7 @@ class SolveService:
         with self._cond:
             system = self._require_system(key)
             del self._systems[key]
-            return system.snapshot()
+            return system.snapshot(self._backend.name)
 
     def systems(self) -> list[object]:
         """Keys of all registered systems."""
@@ -563,11 +564,14 @@ class SolveService:
     # ------------------------------------------------------------------
     def stats(self, key: object | None = None):
         """Stats snapshot: one :class:`SystemStats` for ``key``, or a
-        ``{key: SystemStats}`` dict over all registered systems."""
+        ``{key: SystemStats}`` dict over all registered systems.  Every
+        snapshot carries the resolved backend name, so reported solve
+        times and throughputs are attributable to a kernel tier."""
+        name = self._backend.name
         with self._cond:
             if key is not None:
-                return self._require_system(key).snapshot()
-            return {k: s.snapshot() for k, s in self._systems.items()}
+                return self._require_system(key).snapshot(name)
+            return {k: s.snapshot(name) for k, s in self._systems.items()}
 
     @property
     def plan_cache(self) -> PlanCache:

@@ -46,6 +46,10 @@ class SystemStats:
     arm_seconds:
         Per-arm measured seconds from the tuning race (the online arm
         statistics; empty for explicitly scheduled systems).
+    backend:
+        Resolved execution-backend name every batch of this system ran
+        on (``"numpy"``, ``"numba"``, ``"numba-parallel"``, ...), so
+        throughput numbers are attributable to a kernel tier.
 
     Examples
     --------
@@ -73,6 +77,7 @@ class SystemStats:
     tuned_scheduler: str | None = None
     n_plan_swaps: int = 0
     arm_seconds: dict = field(default_factory=dict)
+    backend: str = ""
 
     @property
     def avg_batch_size(self) -> float:
@@ -110,4 +115,5 @@ class SystemStats:
             "throughput_rps": self.throughput_rps,
             "tuned_scheduler": self.tuned_scheduler,
             "plan_swaps": self.n_plan_swaps,
+            "backend": self.backend,
         }

@@ -324,16 +324,22 @@ class TestBackendRegistry:
 
     def test_numba_graceful_fallback(self):
         """Auto-selection never fails, whether or not numba is installed;
-        requesting numba by name raises only when it is unavailable."""
+        requesting numba by name raises only when it is unavailable.
+        With numba present the parallel tier is preferred (the measured
+        fastest; see benchmarks/test_exec_plan_bench.py)."""
         try:
             import numba  # noqa: F401
             has_numba = True
         except ImportError:
             has_numba = False
-        assert get_backend().name == ("numba" if has_numba else "numpy")
+        assert get_backend().name == (
+            "numba-parallel" if has_numba else "numpy"
+        )
         if not has_numba:
             with pytest.raises(BackendUnavailableError):
                 get_backend("numba")
+            with pytest.raises(BackendUnavailableError):
+                get_backend("numba-parallel")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError):

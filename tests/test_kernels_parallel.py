@@ -1,0 +1,432 @@
+"""The parallel kernel tier: fusion, dispatch, registry, equality.
+
+The tier's contracts, in the order the module tests them:
+
+* the pure-Python kernel sources of :mod:`repro.exec.kernels_numba`
+  match :class:`~repro.exec.backends.NumpyBackend` to rounding — they
+  run interpreted here, so the kernel *logic* is verified even where
+  numba is absent;
+* within the tier, parallel/fused/block variants are **bitwise**
+  identical to the sequential sweep (shared scalar accumulation order);
+  vs NumpyBackend the contract is tight ``allclose`` — NumPy 2.x
+  pairwise/SIMD summation follows an architecture-dependent reduction
+  order scalar code cannot portably replicate;
+* fusion grouping (``fused_ptr``) and the parallel backend's dispatch
+  policy are pure plan arithmetic, tested exhaustively on crafted batch
+  layouts;
+* the backend registry probes availability once per process, and env
+  misconfiguration fails loudly naming ``REPRO_EXEC_BACKEND``;
+* the resolved backend name is reported by the service and experiment
+  layers (stats attribution);
+* with numba installed, the JIT tier itself is exercised over irregular
+  plans — trailing zero-nnz rows, single-batch plans, all-small-batch
+  chains that fuse end-to-end, and k=1 blocks — plus the persistent
+  artifact cache's two-process zero-recompile warm start.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import BackendUnavailableError, ConfigurationError
+from repro.exec import (
+    DEFAULT_FUSE_THRESHOLD,
+    compile_plan,
+    get_backend,
+    register_backend,
+)
+from repro.exec import backends as backends_mod
+from repro.exec.backends import BACKEND_ENV_VAR, NumpyBackend, fused_dispatch
+from repro.exec.kernels_numba import (
+    JIT_CACHE_ENV_VAR,
+    _psweep,
+    _psweep_block,
+    _sweep,
+    _sweep_block,
+    jit_cache_dir,
+    jit_cache_key,
+)
+from repro.exec.plan import FUSE_ENV_VAR, _fuse_batches
+from repro.matrix.csr import CSRMatrix
+from tests.conftest import lower_triangular_matrices
+
+HAS_NUMBA = importlib.util.find_spec("numba") is not None
+needs_numba = pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+
+
+# ---------------------------------------------------------------------------
+# corpus: irregular plan shapes, diagonally dominant (tight tolerances)
+# ---------------------------------------------------------------------------
+def _lower(n, rows, cols, seed=0):
+    """Diagonally dominant lower-triangular matrix on a given pattern."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    vals = rng.uniform(0.1, 0.9, size=rows.size) * rng.choice(
+        (-1.0, 1.0), size=rows.size
+    )
+    vals /= np.maximum(np.bincount(rows, minlength=n), 1)[rows]
+    d = np.arange(n, dtype=np.int64)
+    return CSRMatrix.from_coo(
+        n,
+        np.concatenate([rows, d]),
+        np.concatenate([cols, d]),
+        np.concatenate([vals, rng.uniform(1.0, 2.0, size=n)]),
+    )
+
+
+def irregular_matrices() -> list[tuple[str, CSRMatrix]]:
+    """Plan shapes that have historically broken batch kernels."""
+    # trailing-zero-nnz: a chain head over rows 1..7 leaves rows 8..13
+    # diagonal-only — they join batch 0 with *empty* off-diagonal
+    # segments at the end of the batch (the reduceat-breaking case the
+    # numpy kernel guards explicitly)
+    i = np.arange(1, 8, dtype=np.int64)
+    return [
+        ("single-batch-diagonal", _lower(6, [], [], seed=0)),
+        ("trailing-zero-nnz-rows", _lower(14, i, i - 1, seed=1)),
+        ("all-small-chain", _lower(40, *chain_n(40), seed=2)),
+        ("two-wide-layers", _lower(60, *wide_two(60), seed=3)),
+        ("mixed-wide-then-chain", _lower(50, *mixed(50), seed=4)),
+    ]
+
+
+def chain_n(n):
+    i = np.arange(1, n, dtype=np.int64)
+    return i, i - 1
+
+
+def wide_two(n):
+    half = n // 2
+    rng = np.random.default_rng(9)
+    r = np.arange(half, n, dtype=np.int64)
+    return r, rng.integers(0, half, size=r.size).astype(np.int64)
+
+
+def mixed(n):
+    # one wide layer feeding a chain tail: batches of very different
+    # sizes, so fused and parallel groups coexist in one plan
+    half = n // 2
+    rng = np.random.default_rng(11)
+    wide_r = np.arange(half, half + 10, dtype=np.int64)
+    wide_c = rng.integers(0, half, size=10).astype(np.int64)
+    i = np.arange(half + 10, n, dtype=np.int64)
+    return (
+        np.concatenate([wide_r, i]),
+        np.concatenate([wide_c, i - 1]),
+    )
+
+
+def _pure_solve(plan, b, threshold_dispatch=True):
+    """Run the pure-Python kernel sources over the plan's dispatch spans."""
+    b = np.asarray(b, dtype=np.float64)
+    block = b.ndim == 2
+    x = np.zeros(b.shape)
+    args = (
+        plan.rows, plan.off_ptr, plan.off_cols, plan.off_vals, plan.diag,
+        b, x,
+    )
+    spans = (
+        fused_dispatch(plan)
+        if threshold_dispatch
+        else [(0, plan.n, False)]
+    )
+    for lo, hi, parallel in spans:
+        if block:
+            (_psweep_block if parallel else _sweep_block)(*args, lo, hi)
+        else:
+            (_psweep if parallel else _sweep)(*args, lo, hi)
+    return x
+
+
+# ---------------------------------------------------------------------------
+# pure-Python kernel logic (runs with and without numba)
+# ---------------------------------------------------------------------------
+class TestPureKernels:
+    @pytest.mark.parametrize(
+        "name,matrix", irregular_matrices(), ids=lambda v: v
+        if isinstance(v, str) else ""
+    )
+    def test_matches_numpy_backend_on_irregular_plans(self, name, matrix):
+        rng = np.random.default_rng(5)
+        b = rng.standard_normal(matrix.n)
+        for threshold in (0, 4, DEFAULT_FUSE_THRESHOLD):
+            plan = compile_plan(matrix, fuse_threshold=threshold)
+            x = _pure_solve(plan, b)
+            np.testing.assert_allclose(
+                x, NumpyBackend().solve(plan, b), rtol=1e-12, atol=1e-13
+            )
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_block_columns_bitwise_equal_single_rhs(self, k):
+        for name, matrix in irregular_matrices():
+            rng = np.random.default_rng(6)
+            b_block = rng.standard_normal((matrix.n, k))
+            plan = compile_plan(matrix, fuse_threshold=4)
+            x_block = _pure_solve(plan, b_block)
+            for c in range(k):
+                np.testing.assert_array_equal(
+                    x_block[:, c],
+                    _pure_solve(plan, b_block[:, c]),
+                    err_msg=f"{name}: block column {c} != single RHS",
+                )
+
+    def test_parallel_sweep_bitwise_equals_sequential(self):
+        for name, matrix in irregular_matrices():
+            rng = np.random.default_rng(7)
+            b = rng.standard_normal(matrix.n)
+            plan = compile_plan(matrix, fuse_threshold=0)
+            np.testing.assert_array_equal(
+                _pure_solve(plan, b),
+                _pure_solve(plan, b, threshold_dispatch=False),
+                err_msg=f"{name}: prange sweep diverged from sequential",
+            )
+
+    @given(lower_triangular_matrices(max_n=40))
+    def test_matches_numpy_backend_property(self, matrix):
+        b = np.linspace(-1.0, 1.0, matrix.n)
+        plan = compile_plan(matrix, fuse_threshold=4)
+        np.testing.assert_allclose(
+            _pure_solve(plan, b),
+            NumpyBackend().solve(plan, b),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+
+# ---------------------------------------------------------------------------
+# fusion grouping + dispatch policy (pure plan arithmetic)
+# ---------------------------------------------------------------------------
+class TestFusion:
+    def test_fuse_batches_keeps_boundaries_next_to_large_batches(self):
+        batch_ptr = np.array([0, 100, 101, 102, 200], dtype=np.int64)
+        # sizes 100,1,1,98 with threshold 64: only the boundary between
+        # the two singleton batches dissolves
+        np.testing.assert_array_equal(
+            _fuse_batches(batch_ptr, 64), [0, 1, 3, 4]
+        )
+
+    def test_threshold_zero_is_unfused(self):
+        batch_ptr = np.array([0, 1, 2, 3], dtype=np.int64)
+        np.testing.assert_array_equal(
+            _fuse_batches(batch_ptr, 0), [0, 1, 2, 3]
+        )
+
+    def test_empty_plan(self):
+        np.testing.assert_array_equal(
+            _fuse_batches(np.zeros(1, dtype=np.int64), 64), [0]
+        )
+
+    def test_chain_fuses_end_to_end(self):
+        plan = compile_plan(_lower(40, *chain_n(40)))
+        assert plan.n_batches == 40
+        assert plan.n_fused_groups == 1
+        assert plan.fuse_threshold == DEFAULT_FUSE_THRESHOLD
+
+    def test_env_var_overrides_threshold(self, monkeypatch):
+        matrix = _lower(40, *chain_n(40))
+        monkeypatch.setenv(FUSE_ENV_VAR, "0")
+        assert compile_plan(matrix).n_fused_groups == 40
+        monkeypatch.setenv(FUSE_ENV_VAR, "not-a-number")
+        with pytest.raises(ConfigurationError):
+            compile_plan(matrix)
+
+    def test_explicit_threshold_beats_env(self, monkeypatch):
+        matrix = _lower(40, *chain_n(40))
+        monkeypatch.setenv(FUSE_ENV_VAR, "0")
+        assert compile_plan(matrix, fuse_threshold=64).n_fused_groups == 1
+
+    def test_dispatch_spans_tile_all_positions(self):
+        for name, matrix in irregular_matrices():
+            plan = compile_plan(matrix, fuse_threshold=4)
+            spans = fused_dispatch(plan)
+            assert spans[0][0] == 0 and spans[-1][1] == plan.n, name
+            for (_, hi, _p), (lo, _, _q) in zip(spans, spans[1:]):
+                assert hi == lo, name
+
+    def test_dispatch_parallel_only_for_large_single_batches(self):
+        plan = compile_plan(_lower(50, *mixed(50)), fuse_threshold=8)
+        batch_sizes = np.diff(plan.batch_ptr)
+        assert batch_sizes.max() >= 8 > batch_sizes.min()
+        spans = fused_dispatch(plan)
+        assert any(parallel for _, _, parallel in spans)
+        for lo, hi, parallel in spans:
+            if parallel:
+                assert hi - lo >= plan.fuse_threshold
+        # every parallel span is exactly one batch
+        starts = set(plan.batch_ptr.tolist())
+        for lo, hi, parallel in spans:
+            if parallel:
+                assert lo in starts and hi in starts
+
+    def test_direct_plan_construction_defaults_unfused(self):
+        # plans built field-by-field (older callers, tests) degrade to
+        # one group per batch instead of failing
+        plan = compile_plan(_lower(10, *chain_n(10)))
+        fields = {
+            name: getattr(plan, name)
+            for name in plan.__slots__
+            if name not in ("fused_ptr", "fuse_threshold")
+        }
+        from repro.exec.plan import ExecutionPlan
+
+        rebuilt = ExecutionPlan(**fields)
+        assert rebuilt.n_fused_groups == rebuilt.n_batches
+        assert rebuilt.fuse_threshold == 0
+
+
+# ---------------------------------------------------------------------------
+# registry satellites
+# ---------------------------------------------------------------------------
+class TestRegistrySatellites:
+    def _cleanup(self, name):
+        backends_mod._FACTORIES.pop(name, None)
+        backends_mod._INSTANCES.pop(name, None)
+        backends_mod._UNAVAILABLE.pop(name, None)
+
+    def test_unavailability_probed_once(self):
+        calls = []
+
+        def failing_factory():
+            calls.append(1)
+            raise BackendUnavailableError("no hardware here")
+
+        register_backend("test-flaky", failing_factory, replace=True)
+        try:
+            from repro.exec import available_backends
+
+            assert "test-flaky" not in available_backends()
+            assert "test-flaky" not in available_backends()
+            with pytest.raises(BackendUnavailableError):
+                get_backend("test-flaky")
+            assert len(calls) == 1  # probe ran once, verdict cached
+        finally:
+            self._cleanup("test-flaky")
+
+    def test_reregistering_clears_cached_unavailability(self):
+        def failing_factory():
+            raise BackendUnavailableError("not yet")
+
+        register_backend("test-comeback", failing_factory, replace=True)
+        try:
+            with pytest.raises(BackendUnavailableError):
+                get_backend("test-comeback")
+            register_backend("test-comeback", NumpyBackend, replace=True)
+            assert get_backend("test-comeback").name == "numpy"
+        finally:
+            self._cleanup("test-comeback")
+
+    def test_env_var_unknown_backend_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "warp-drive")
+        with pytest.raises(ConfigurationError, match=BACKEND_ENV_VAR):
+            get_backend()
+
+    def test_env_var_known_backend_still_resolves(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert get_backend().name == "numpy"
+
+
+# ---------------------------------------------------------------------------
+# backend attribution in stats (service + experiment layers)
+# ---------------------------------------------------------------------------
+class TestBackendAttribution:
+    def test_service_stats_report_backend(self):
+        from repro.service import SolveService
+
+        matrix = _lower(30, *chain_n(30))
+        with SolveService(backend="numpy") as service:
+            service.register("sys", matrix)
+            service.solve("sys", np.ones(30))
+            stats = service.stats("sys")
+            assert stats.backend == "numpy"
+            assert stats.as_row()["backend"] == "numpy"
+            final = service.unregister("sys")
+        assert final.backend == "numpy"
+
+    def test_experiment_result_reports_backend(self):
+        from repro.experiments.datasets import DatasetInstance
+        from repro.experiments.runner import run_instance
+        from repro.machine.model import get_machine
+        from repro.scheduler.registry import make_scheduler
+
+        inst = DatasetInstance("attr", _lower(60, *wide_two(60)))
+        result = run_instance(
+            inst, make_scheduler("wavefront"),
+            get_machine("intel_xeon_6238t"),
+        )
+        assert result.backend == get_backend().name
+        assert result.as_row()["backend"] == result.backend
+
+
+# ---------------------------------------------------------------------------
+# persistent JIT cache keying (runs everywhere)
+# ---------------------------------------------------------------------------
+class TestJitCacheKeying:
+    def test_key_is_stable_and_content_shaped(self):
+        key = jit_cache_key()
+        assert key == jit_cache_key()
+        assert len(key) == 16
+        int(key, 16)  # hex digest prefix
+
+    def test_cache_dir_honors_env_override(self, monkeypatch):
+        monkeypatch.setenv(JIT_CACHE_ENV_VAR, "/tmp/jit-cache-test")
+        path = jit_cache_dir()
+        assert str(path).startswith("/tmp/jit-cache-test")
+        assert path.name == jit_cache_key()
+
+
+# ---------------------------------------------------------------------------
+# the JIT tier itself (numba only)
+# ---------------------------------------------------------------------------
+@needs_numba
+class TestJitTier:
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_tier_bitwise_identical_and_close_to_numpy(self, k):
+        numpy_backend = get_backend("numpy")
+        seq = get_backend("numba")
+        par = get_backend("numba-parallel")
+        for name, matrix in irregular_matrices():
+            rng = np.random.default_rng(8)
+            b = rng.standard_normal(matrix.n)
+            b_block = rng.standard_normal((matrix.n, k))
+            fused_plan = compile_plan(matrix, fuse_threshold=4)
+            unfused_plan = compile_plan(matrix, fuse_threshold=0)
+
+            x_seq = seq.solve(fused_plan, b)
+            for plan in (fused_plan, unfused_plan):
+                np.testing.assert_array_equal(
+                    par.solve(plan, b), x_seq,
+                    err_msg=f"{name}: parallel tier != sequential sweep",
+                )
+            np.testing.assert_allclose(
+                x_seq, numpy_backend.solve(fused_plan, b),
+                rtol=1e-12, atol=1e-13, err_msg=name,
+            )
+
+            xb_seq = seq.solve_block(fused_plan, b_block)
+            np.testing.assert_array_equal(
+                par.solve_block(fused_plan, b_block), xb_seq,
+                err_msg=f"{name}: block parallel tier != sequential",
+            )
+            for c in range(k):
+                np.testing.assert_array_equal(
+                    xb_seq[:, c], seq.solve(fused_plan, b_block[:, c]),
+                    err_msg=f"{name}: block column {c} != single RHS",
+                )
+            np.testing.assert_allclose(
+                xb_seq, numpy_backend.solve_block(fused_plan, b_block),
+                rtol=1e-12, atol=1e-13, err_msg=name,
+            )
+
+    def test_auto_selection_prefers_parallel_tier(self):
+        assert get_backend().name == "numba-parallel"
+
+    def test_warm_second_process_performs_zero_compiles(self):
+        from repro.experiments.bench import warm_start_check
+
+        report = warm_start_check()
+        assert report["warm_zero_compiles"], report

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Emit the repo's perf trajectory: ``BENCH_*.json`` per suite.
+
+Runs the exec / service / tuner micro-benchmarks of
+:mod:`repro.experiments.bench` in full (non-smoke) mode and writes one
+``BENCH_<suite>.json`` per suite — per-backend median solve seconds for
+the exec suite (serial-loop / numpy / numba / numba-parallel / fused,
+per plan shape), serving throughput for the service suite, cold-vs-warm
+tuning cost for the tuner suite — plus ``BENCH_warm_start.json`` from
+the persistent-JIT two-process check (the second process must perform
+zero compiles; the script exits non-zero when it recompiles).
+
+Later PRs move these floors; CI uploads the smoke-scaled equivalents as
+build artifacts on every push so the trajectory is visible per run.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py [--output DIR] [--smoke]
+                                                [--suite {exec,service,tuner,all}]
+
+No third-party dependencies beyond the repo's own (numba optional: the
+JIT tiers report ``null`` and the warm-start check is skipped without
+it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main as repro_main  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT),
+        help="directory for the BENCH_*.json files (default: repo root)",
+    )
+    parser.add_argument(
+        "--suite", default="all",
+        choices=["exec", "service", "tuner", "all"],
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized instances instead of the full trajectory run",
+    )
+    args = parser.parse_args(argv)
+
+    cli_args = ["bench", "--suite", args.suite, "--report",
+                "--output", args.output, "--json"]
+    if args.smoke:
+        cli_args.append("--smoke")
+    return repro_main(cli_args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
