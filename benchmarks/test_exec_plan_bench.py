@@ -187,3 +187,59 @@ def test_fused_beats_unfused_parallel_on_deep_narrow():
         f"fused dispatch only {speedup:.2f}x over per-batch dispatch on "
         f"the deep-narrow corpus"
     )
+
+
+class TestValidationZeroOverheadFloor:
+    """Plan validation is strictly opt-in: the hot compile path must not
+    pay for it — not a verifier import, not a single check — unless the
+    ``REPRO_VALIDATE_PLANS`` gate is on or ``validate=True`` is passed.
+    """
+
+    def _matrix(self):
+        n = 1_000 if SMOKE else 3_000
+        return erdos_renyi_lower(n, 5e-3, seed=0)
+
+    def test_gate_off_never_touches_the_verifier(self, monkeypatch):
+        import repro.analysis.verify as verify_mod
+
+        def bomb(*a, **k):  # pragma: no cover - must never run
+            raise AssertionError(
+                "verifier invoked on the gate-off compile path"
+            )
+
+        monkeypatch.delenv("REPRO_VALIDATE_PLANS", raising=False)
+        monkeypatch.setattr(verify_mod, "check_plan", bomb)
+        monkeypatch.setattr(verify_mod, "maybe_check_cached", bomb)
+        lower = self._matrix()
+        compile_plan(lower)
+        compile_plan(lower, validate=None)
+
+    def test_gate_off_compile_time_floor(self, monkeypatch):
+        """Env-gated default must cost the same as validate=False."""
+        monkeypatch.delenv("REPRO_VALIDATE_PLANS", raising=False)
+        lower = self._matrix()
+        compile_plan(lower)  # warm caches
+        gated = _median_time(lambda: compile_plan(lower))
+        explicit_off = _median_time(
+            lambda: compile_plan(lower, validate=False)
+        )
+        # identical code path modulo one env read; generous 1.5x bound
+        # keeps the floor meaningful without flaking on timer noise
+        assert gated <= explicit_off * 1.5 + 1e-3, (
+            f"gate-off compile {gated * 1e3:.2f} ms vs explicit-off "
+            f"{explicit_off * 1e3:.2f} ms"
+        )
+
+    def test_validation_on_is_bounded(self, monkeypatch):
+        """Opt-in validation stays a small multiple of the compile."""
+        monkeypatch.delenv("REPRO_VALIDATE_PLANS", raising=False)
+        lower = self._matrix()
+        compile_plan(lower, validate=True)  # warm caches
+        off = _median_time(lambda: compile_plan(lower, validate=False))
+        on = _median_time(lambda: compile_plan(lower, validate=True))
+        # the verifier is one vectorized pass over the plan arrays; it
+        # must stay within a single-digit multiple of compilation
+        assert on <= off * 10 + 5e-3, (
+            f"validated compile {on * 1e3:.2f} ms vs plain "
+            f"{off * 1e3:.2f} ms"
+        )

@@ -45,7 +45,7 @@ def test_figB1_scheduling_time_scaling(benchmark):
         # least-squares exponent of time ~ nnz^k
         k = np.polyfit(np.log(nnzs), np.log(times), 1)[0]
         exponents[sched_name] = k
-        for nnz, s, fit in zip(nnzs, times, series["fit_seconds"]):
+        for nnz, s, fit in zip(nnzs, times, series["fit_seconds"], strict=True):
             rows.append([sched_name, nnz, s, fit])
     print()
     print(format_table(

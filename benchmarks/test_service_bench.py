@@ -66,7 +66,7 @@ def test_micro_batched_service_beats_sequential_solves():
         t_service = _median(served)
         stats = service.stats("bench")
 
-    for a, b in zip(x_served, x_seq):
+    for a, b in zip(x_served, x_seq, strict=True):
         np.testing.assert_array_equal(a, b)
     assert stats.avg_batch_size > 1.0, (
         "requests were never coalesced: avg batch size "

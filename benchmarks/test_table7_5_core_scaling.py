@@ -48,7 +48,7 @@ def test_table7_5_core_scaling(benchmark, suitesparse, amd):
         label = f"{lo:.0f}-{hi:.0f}" if hi != float("inf") else f">{lo:.0f}"
         series = []
         for cores in CORE_COUNTS:
-            sel = [s for s, w in zip(speedups[cores], wf) if lo <= w < hi]
+            sel = [s for s, w in zip(speedups[cores], wf, strict=True) if lo <= w < hi]
             series.append(geometric_mean(sel) if sel else float("nan"))
         group_rows.append([label] + series)
         group_final[label] = series[-1]

@@ -50,7 +50,7 @@ def main() -> None:
             bs = [rng.standard_normal(sizes[key])
                   for _ in range(REQUESTS_PER_CLIENT)]
             futures = service.submit_many(key, bs)
-            for b, fut in zip(bs, futures):
+            for b, fut in zip(bs, futures, strict=True):
                 x = fut.result(timeout=60)
                 assert np.array_equal(x, backend.solve(oracles[key], b))
             verified.append(key)

@@ -1,0 +1,34 @@
+"""Repo-invariant AST lint: engine (:mod:`~repro.analysis.lint.engine`)
+plus the registered rules (:mod:`~repro.analysis.lint.rules`)."""
+
+from repro.analysis.lint.engine import (
+    LintFinding,
+    ModuleSource,
+    Rule,
+    default_rules,
+    register_rule,
+    rule_catalogue,
+    run_lint,
+)
+from repro.analysis.lint.rules import (
+    AtomicWriteRule,
+    LockDisciplineRule,
+    NoBareAssertRule,
+    UnseededRngRule,
+    WallclockTimingRule,
+)
+
+__all__ = [
+    "AtomicWriteRule",
+    "LintFinding",
+    "LockDisciplineRule",
+    "ModuleSource",
+    "NoBareAssertRule",
+    "Rule",
+    "UnseededRngRule",
+    "WallclockTimingRule",
+    "default_rules",
+    "register_rule",
+    "rule_catalogue",
+    "run_lint",
+]

@@ -1,0 +1,235 @@
+"""The repo-invariant lint engine: AST rules, pragmas, file walking.
+
+A pyflakes-style rule engine purpose-built for *this* repository's
+hard-won invariants — seeded RNG, atomic writes, lock discipline —
+encoded as machine-checked rules instead of reviewer memory.  Each rule
+is a small class registered with id/severity/autofixable metadata; the
+engine parses every target file once into an :class:`ast.Module`, hands
+each rule the parsed :class:`ModuleSource`, and filters findings
+through inline suppression pragmas::
+
+    risky_call()  # repro: allow[rule-id]
+
+A pragma on the offending line (or ``allow[rule-a,rule-b]`` for
+several) suppresses exactly the named rules there; nothing is ever
+suppressed silently.  Rules live in
+:mod:`repro.analysis.lint.rules`; :func:`run_lint` is the entry point
+the ``repro check source`` CLI verb and the CI gate call.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "LintFinding",
+    "ModuleSource",
+    "Rule",
+    "default_rules",
+    "iter_python_files",
+    "register_rule",
+    "rule_catalogue",
+    "run_lint",
+]
+
+#: ``# repro: allow[rule-id]`` (one or more comma-separated ids).
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([a-z0-9\-_, ]+)\]")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"[{self.rule}] {self.message}")
+
+
+class ModuleSource:
+    """One parsed target file: source text, AST, and pragma map."""
+
+    def __init__(self, path: str, text: str, relpath: str) -> None:
+        self.path = path
+        #: Path relative to the scan root, POSIX separators — what the
+        #: path-scoped rules (timing whitelist, atomic-write exemption)
+        #: match against and what findings report.
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self._allowed: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _PRAGMA_RE.search(line)
+            if match:
+                self._allowed[lineno] = {
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is pragma-suppressed on ``line``."""
+        return rule_id in self._allowed.get(line, ())
+
+
+class Rule:
+    """Base class: subclasses declare metadata and implement ``check``.
+
+    Attributes
+    ----------
+    id:
+        Stable kebab-case rule id (used in reports and pragmas).
+    severity:
+        ``"error"`` findings fail the check run.
+    autofixable:
+        Whether a mechanical rewrite exists (metadata only; the engine
+        never rewrites source).
+    description:
+        One-line rationale shown in the rule catalogue.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    autofixable: bool = False
+    description: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleSource, node: ast.AST, message: str
+    ) -> LintFinding:
+        return LintFinding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.relpath,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            message=message,
+        )
+
+
+#: All registered rule classes, in registration order.
+_RULES: list[type[Rule]] = []
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the default set."""
+    if not cls.id:
+        raise ConfigurationError(
+            f"rule {cls.__name__} must declare a non-empty id"
+        )
+    if any(existing.id == cls.id for existing in _RULES):
+        raise ConfigurationError(f"duplicate rule id {cls.id!r}")
+    _RULES.append(cls)
+    return cls
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule."""
+    # the rules module self-registers on import
+    from repro.analysis.lint import rules as _rules  # noqa: F401
+
+    return [cls() for cls in _RULES]
+
+
+def rule_catalogue() -> list[dict]:
+    """Id/severity/autofixable/description metadata for every rule."""
+    return [
+        {
+            "id": rule.id,
+            "severity": rule.severity,
+            "autofixable": rule.autofixable,
+            "description": rule.description,
+        }
+        for rule in default_rules()
+    ]
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    """Every ``.py`` file under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(
+        p for p in root.rglob("*.py")
+        if not any(part.startswith(".") for part in p.parts)
+    )
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule] | None = None,
+    *,
+    root: str | Path | None = None,
+) -> list[LintFinding]:
+    """Run ``rules`` (default: all registered) over ``paths``.
+
+    ``root`` anchors the relative paths findings report (default: the
+    common parent the scan was invoked with — each argument's own
+    parent).  Pragma-suppressed findings are dropped; the remainder is
+    sorted by (path, line, col, rule).
+
+    Examples
+    --------
+    >>> import tempfile, pathlib
+    >>> from repro.analysis.lint import run_lint
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     bad = pathlib.Path(tmp) / "mod.py"
+    ...     _ = bad.write_text("import random\\nx = random.random()\\n")
+    ...     [f.rule for f in run_lint([bad])]
+    ['unseeded-rng']
+    """
+    if rules is None:
+        rules = default_rules()
+    rules = list(rules)
+    findings: list[LintFinding] = []
+    for raw in paths:
+        base = Path(raw)
+        if not base.exists():
+            raise ConfigurationError(f"lint target {raw!s} does not exist")
+        anchor = Path(root) if root is not None else (
+            base.parent if base.is_file() else base
+        )
+        for path in iter_python_files(base):
+            try:
+                relpath = path.relative_to(anchor).as_posix()
+            except ValueError:
+                relpath = path.as_posix()
+            try:
+                module = ModuleSource(
+                    str(path), path.read_text(encoding="utf-8"), relpath
+                )
+            except SyntaxError as exc:
+                raise ConfigurationError(
+                    f"cannot parse {path}: {exc}"
+                ) from exc
+            for rule in rules:
+                for finding in rule.check(module):
+                    if not module.suppressed(finding.rule, finding.line):
+                        findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

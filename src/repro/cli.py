@@ -305,6 +305,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print results as JSON instead of tables")
 
+    p = sub.add_parser(
+        "check",
+        help="static analysis: lint repo invariants, verify plans",
+    )
+    p.add_argument("target", choices=["source", "plan", "all"],
+                   help="source = AST lint of the library tree; plan = "
+                        "static ExecutionPlan verification; all = both")
+    p.add_argument("--path", action="append", default=None,
+                   help="lint this file/directory instead of the "
+                        "installed repro package (repeatable)")
+    p.add_argument("--matrix", default=None,
+                   help="verify the plan compiled from this .mtx file "
+                        "instead of the built-in corpus")
+    p.add_argument("--schedule", default=None,
+                   help="schedule JSON to compile --matrix against")
+    p.add_argument("--rules", action="store_true",
+                   help="print the lint rule catalogue and exit")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON report (what CI archives)")
+
     return parser
 
 
@@ -908,6 +928,81 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    """``repro check source|plan|all``: the static-analysis gate.
+
+    Exit 0 iff every requested half is clean; 1 on findings/violations
+    (typed errors still exit 2 via ``main``).
+    """
+    from repro.analysis import check_all, check_plans, check_source
+    from repro.analysis.lint import rule_catalogue
+    from repro.experiments.tables import format_table
+
+    if args.rules:
+        catalogue = rule_catalogue()
+        if args.json:
+            print(json.dumps(_json_sanitize(catalogue), indent=2))
+        else:
+            print(format_table(
+                ["id", "severity", "autofix", "description"],
+                [[r["id"], r["severity"],
+                  "yes" if r["autofixable"] else "no",
+                  r["description"][:60]] for r in catalogue],
+                title="lint rules",
+            ))
+        return 0
+
+    if args.target == "source":
+        payload = check_source(args.path)
+    elif args.target == "plan":
+        payload = check_plans(args.matrix, args.schedule)
+    else:
+        payload = check_all(args.path, args.matrix, args.schedule)
+
+    if args.json:
+        print(json.dumps(_json_sanitize(payload), indent=2))
+    else:
+        _print_check_report(args.target, payload)
+    return 0 if payload["ok"] else 1
+
+
+def _print_check_report(target: str, payload: dict) -> None:
+    from repro.experiments.tables import format_table
+
+    if target == "all":
+        halves = [("source", payload["source"]), ("plan", payload["plan"])]
+    else:
+        halves = [(target, payload)]
+    for name, half in halves:
+        if name == "source":
+            for finding in half["findings"]:
+                print(f"{finding['path']}:{finding['line']}:"
+                      f"{finding['col']}: [{finding['rule']}] "
+                      f"{finding['message']}")
+            verdict = "clean" if half["ok"] else (
+                f"{half['n_findings']} finding(s)"
+            )
+            print(f"source: {verdict} "
+                  f"({len(half['rules'])} rules)")
+        else:
+            rows = []
+            for plan in half["plans"]:
+                broken = sorted({
+                    v["invariant"] for v in plan["violations"]
+                })
+                rows.append([
+                    plan["plan"], plan["n"], plan["n_batches"],
+                    "ok" if plan["ok"] else ", ".join(broken),
+                ])
+            print(format_table(
+                ["plan", "n", "batches", "verdict"], rows,
+                title="plan verification",
+            ))
+            verdict = "clean" if half["ok"] else "VIOLATIONS"
+            print(f"plan: {verdict} ({half['n_plans']} plan(s), "
+                  f"{len(half['invariants'])} invariants)")
+
+
 _COMMANDS = {
     "schedule": _cmd_schedule,
     "solve": _cmd_solve,
@@ -920,6 +1015,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "machines": _cmd_machines,
     "bench": _cmd_bench,
+    "check": _cmd_check,
 }
 
 

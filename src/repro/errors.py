@@ -37,6 +37,27 @@ class InvalidPartitionError(ReproError):
     or violates a required structural property (e.g. not a cascade)."""
 
 
+class PlanVerificationError(ReproError):
+    """A compiled :class:`~repro.exec.plan.ExecutionPlan` failed static
+    verification (:mod:`repro.analysis.verify`).
+
+    Raised instead of executing a structurally corrupt plan — a batch
+    pointer that does not cover every row, a gather index reaching into
+    a not-yet-completed batch, a truncated dtype.  Carries the full
+    :class:`~repro.analysis.verify.PlanVerificationReport` as
+    ``report``; each violation names the broken invariant and the
+    offending row/batch."""
+
+    def __init__(self, report) -> None:
+        self.report = report
+        names = ", ".join(sorted(report.invariants))
+        first = report.violations[0]
+        super().__init__(
+            f"plan failed static verification ({len(report.violations)} "
+            f"violation(s) of: {names}); first: {first.message}"
+        )
+
+
 class ConfigurationError(ReproError):
     """Invalid user-supplied configuration (core counts, parameters, ...)."""
 

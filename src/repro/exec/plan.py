@@ -316,6 +316,7 @@ def compile_plan(
     direction: str = "forward",
     check_diagonal: bool = True,
     fuse_threshold: int | None = None,
+    validate: bool | None = None,
 ) -> ExecutionPlan:
     """Lower ``(matrix, schedule)`` into an :class:`ExecutionPlan`.
 
@@ -343,6 +344,13 @@ def compile_plan(
         (the default) reads ``REPRO_FUSE_THRESHOLD`` from the
         environment, falling back to :data:`DEFAULT_FUSE_THRESHOLD`;
         ``0`` disables fusion.
+    validate:
+        Run the static verifier (:func:`repro.analysis.verify_plan`)
+        on the compiled plan, raising
+        :class:`~repro.errors.PlanVerificationError` on any violation.
+        ``None`` (the default) defers to the ``REPRO_VALIDATE_PLANS``
+        environment gate and is free when the gate is off — the hot
+        compile path never imports the verifier.
 
     Examples
     --------
@@ -458,7 +466,7 @@ def compile_plan(
 
     threshold = _resolve_fuse_threshold(fuse_threshold)
 
-    return ExecutionPlan(
+    plan = ExecutionPlan(
         matrix=matrix,
         schedule=schedule,
         direction=direction,
@@ -478,3 +486,19 @@ def compile_plan(
         singular_row=singular_row,
         _singular_reason=reason,
     )
+    if validate is None:
+        # cheap env sniff only; the verifier module stays unimported on
+        # the hot path unless the gate is actually on
+        validate = os.environ.get(
+            "REPRO_VALIDATE_PLANS", ""
+        ).strip().lower() in ("1", "true", "yes", "on")
+    if validate:
+        from repro.analysis.verify import check_plan
+
+        # cost-model plans (check_diagonal=False) may legally carry a
+        # zero diagonal; require solvability only when the compiler did
+        check_plan(
+            plan, matrix=matrix, schedule=schedule,
+            require_solvable=check_diagonal,
+        )
+    return plan

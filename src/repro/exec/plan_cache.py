@@ -21,10 +21,17 @@ the cache (the :class:`~repro.service.SolveService` worker, the suite
 runner).  Two threads racing to build the same key may both invoke the
 builder; the first insertion wins and both observe the same cached value
 afterwards — builders are pure, so the duplicate work is the only cost.
+
+Under the ``REPRO_VALIDATE_PLANS`` environment gate every
+:class:`~repro.exec.plan.ExecutionPlan` is statically verified (see
+:mod:`repro.analysis.verify`) *before* it becomes observable to other
+cache consumers, so a corrupted plan can never be amplified by the
+cache; the check also happens outside the lock.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, TypeVar
@@ -32,6 +39,22 @@ from typing import Callable, Hashable, TypeVar
 __all__ = ["PlanCache"]
 
 T = TypeVar("T")
+
+
+def _maybe_validate(value: object) -> None:
+    """Integrity gate: verify plan artifacts before they are published.
+
+    Free when ``REPRO_VALIDATE_PLANS`` is off — the verifier module is
+    only imported once the gate is actually on (lazy import keeps the
+    hot cache path free of the analysis layer).
+    """
+    if os.environ.get("REPRO_VALIDATE_PLANS", "").strip().lower() not in (
+        "1", "true", "yes", "on"
+    ):
+        return
+    from repro.analysis.verify import maybe_check_cached
+
+    maybe_check_cached(value)
 
 
 class PlanCache:
@@ -75,6 +98,7 @@ class PlanCache:
                 return self._entries[key]  # type: ignore[return-value]
             self.misses += 1
         value = builder()
+        _maybe_validate(value)
         with self._lock:
             if key in self._entries:
                 # another thread built it while we were; keep the first
@@ -97,6 +121,7 @@ class PlanCache:
         swap in a rebuilt artifact; the entry lands at the
         most-recently-used end.
         """
+        _maybe_validate(value)
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)

@@ -174,6 +174,6 @@ def grid_search(
                             machine=machine, measured=measured,
                             error=err, trials=trials,
                         )
-    assert best is not None
+    assert best is not None  # repro: allow[no-bare-assert]
     best.trials = trials
     return best

@@ -87,7 +87,7 @@ def figure_7_2_series(
                 raise ValueError(
                     "results must align with instance_avg_wavefronts"
                 )
-            grouped = [r.speedup for r, m in zip(rows, mask) if m]
+            grouped = [r.speedup for r, m in zip(rows, mask, strict=True) if m]
             if grouped:
                 series[cores] = geometric_mean(grouped)
         out[label] = series

@@ -34,11 +34,11 @@ def format_table(
     if title:
         lines.append(title)
     lines.append(
-        "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths, strict=True))
     )
     lines.append("  ".join("-" * w for w in widths))
     for r in str_rows:
-        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths, strict=True)))
     return "\n".join(lines)
 
 

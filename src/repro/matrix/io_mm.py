@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import MatrixFormatError
 from repro.matrix.csr import CSRMatrix
+from repro.utils.atomic import atomic_write_text
 
 __all__ = ["read_matrix_market", "write_matrix_market"]
 
@@ -79,25 +80,31 @@ def read_matrix_market(path: str | Path | io.TextIOBase) -> CSRMatrix:
     return CSRMatrix.from_coo(n_rows, rows, cols, vals)
 
 
+def _render_matrix_market(matrix: CSRMatrix, comment: str) -> str:
+    """Serialize ``matrix`` to coordinate-format text (1-based indices)."""
+    out = io.StringIO()
+    out.write(_HEADER + " general\n")
+    if comment:
+        for line in comment.splitlines():
+            out.write(f"% {line}\n")
+    out.write(f"{matrix.n} {matrix.n} {matrix.nnz}\n")
+    rows = np.repeat(np.arange(matrix.n, dtype=np.int64), matrix.row_nnz())
+    for r, c, v in zip(rows, matrix.indices, matrix.data, strict=True):
+        out.write(f"{r + 1} {c + 1} {v:.17g}\n")
+    return out.getvalue()
+
+
 def write_matrix_market(
     matrix: CSRMatrix, path: str | Path | io.TextIOBase, *, comment: str = ""
 ) -> None:
-    """Write a matrix in coordinate real general format (1-based indices)."""
-    close = False
+    """Write a matrix in coordinate real general format (1-based indices).
+
+    Serialization happens before any byte touches disk: file targets go
+    through :func:`repro.utils.atomic.atomic_write_text`, so a crash (or
+    a serialization error) mid-write can never tear an existing file.
+    """
+    text = _render_matrix_market(matrix, comment)
     if isinstance(path, (str, Path)):
-        fh = open(path, "w", encoding="ascii")
-        close = True
+        atomic_write_text(path, text, encoding="ascii")
     else:
-        fh = path
-    try:
-        fh.write(_HEADER + " general\n")
-        if comment:
-            for line in comment.splitlines():
-                fh.write(f"% {line}\n")
-        fh.write(f"{matrix.n} {matrix.n} {matrix.nnz}\n")
-        rows = np.repeat(np.arange(matrix.n, dtype=np.int64), matrix.row_nnz())
-        for r, c, v in zip(rows, matrix.indices, matrix.data):
-            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")
-    finally:
-        if close:
-            fh.close()
+        path.write(text)

@@ -39,7 +39,7 @@ def minimum_degree_ordering(matrix: CSRMatrix) -> np.ndarray:
     # variable -> set of variable neighbours (symmetric, no diagonal)
     var_adj: list[set[int]] = [set() for _ in range(n)]
     rows = np.repeat(np.arange(n, dtype=np.int64), matrix.row_nnz())
-    for i, j in zip(rows.tolist(), matrix.indices.tolist()):
+    for i, j in zip(rows.tolist(), matrix.indices.tolist(), strict=True):
         if i != j:
             var_adj[i].add(j)
             var_adj[j].add(i)

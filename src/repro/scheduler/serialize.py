@@ -60,7 +60,9 @@ def schedule_from_dict(data: dict) -> Schedule:
         cores = np.asarray(data["cores"], dtype=np.int64)
         steps = np.asarray(data["supersteps"], dtype=np.int64)
     except (KeyError, TypeError, ValueError) as exc:
-        raise ConfigurationError(f"malformed schedule payload: {exc}")
+        raise ConfigurationError(
+            f"malformed schedule payload: {exc}"
+        ) from exc
     if version != _FORMAT_VERSION:
         raise ConfigurationError(
             f"unsupported schedule format version {version}"
@@ -108,7 +110,9 @@ def load_schedule_npz(path: str | Path) -> Schedule:
             cores = data["cores"]
             steps = data["supersteps"]
         except KeyError as exc:
-            raise ConfigurationError(f"malformed NPZ schedule: {exc}")
+            raise ConfigurationError(
+                f"malformed NPZ schedule: {exc}"
+            ) from exc
     if version != _FORMAT_VERSION:
         raise ConfigurationError(
             f"unsupported schedule format version {version}"

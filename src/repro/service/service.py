@@ -680,7 +680,7 @@ class SolveService:
                 done - t0,
                 sum(done - r.enqueued_at for r in batch),
             )
-        for request, x in zip(batch, results):
+        for request, x in zip(batch, results, strict=True):
             request.future.set_result(x)
 
     def _record(

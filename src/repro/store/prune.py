@@ -112,7 +112,7 @@ def _allocate_quotas(sizes: list[int], budget: int) -> list[int]:
                     quotas[j] -= 1
                     quotas[i] = 1
                     break
-    return [min(q, s) for q, s in zip(quotas, sizes)]
+    return [min(q, s) for q, s in zip(quotas, sizes, strict=True)]
 
 
 def coverage_prune(records: list[dict], keep: int) -> list[dict]:
@@ -146,7 +146,7 @@ def coverage_prune(records: list[dict], keep: int) -> list[dict]:
     )
 
     kept_indices: list[int] = []
-    for variant, quota in zip(variant_order, quotas):
+    for variant, quota in zip(variant_order, quotas, strict=True):
         if quota <= 0:
             continue
         members = groups[variant]

@@ -21,7 +21,9 @@ import tempfile
 __all__ = ["atomic_write_json", "atomic_write_text"]
 
 
-def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+def atomic_write_text(
+    path: str | os.PathLike, text: str, *, encoding: str = "utf-8"
+) -> None:
     """Write ``text`` to ``path`` atomically (temp file + rename).
 
     On any failure the temp file is removed and the previous content of
@@ -43,7 +45,7 @@ def atomic_write_text(path: str | os.PathLike, text: str) -> None:
         prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
     )
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
             fh.write(text)
         os.replace(tmp_path, path)
     except BaseException:

@@ -110,7 +110,7 @@ def performance_profile(
     best = matrix.min(axis=0)  # per-instance best over all algorithms
 
     out: dict[str, np.ndarray] = {"thresholds": taus}
-    for name, row in zip(times_by_algorithm, matrix):
+    for name, row in zip(times_by_algorithm, matrix, strict=True):
         ratios = row / best
         out[name] = np.array([(ratios <= t).mean() for t in taus])
     return out

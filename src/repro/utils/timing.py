@@ -32,7 +32,7 @@ class Timer:
         return self
 
     def __exit__(self, *exc: object) -> None:
-        assert self._start is not None
+        assert self._start is not None  # repro: allow[no-bare-assert]
         self.elapsed = time.perf_counter() - self._start
 
     def start(self) -> None:

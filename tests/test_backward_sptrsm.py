@@ -28,8 +28,8 @@ class TestBackwardDAG:
         src_b, dst_b = bdag.edges()
         rev = fdag.reversed()
         src_r, dst_r = rev.edges()
-        assert set(zip(src_b.tolist(), dst_b.tolist())) == set(
-            zip(src_r.tolist(), dst_r.tolist())
+        assert set(zip(src_b.tolist(), dst_b.tolist(), strict=True)) == set(
+            zip(src_r.tolist(), dst_r.tolist(), strict=True)
         )
 
     def test_rejects_lower(self, small_er_lower):

@@ -3,6 +3,8 @@ reordering (Section 5)."""
 
 import numpy as np
 import pytest
+
+from repro.errors import ReproError
 from hypothesis import given, settings
 
 from repro.graph.dag import DAG
@@ -35,7 +37,7 @@ class TestSplitRows:
         assert sum(p.size for p in parts) == 2
 
     def test_invalid(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             split_rows_by_weight(np.ones(3), 0)
 
 
@@ -74,7 +76,7 @@ class TestBlockScheduler:
         assert b.parallel_scheduling_time <= b.total_scheduling_time + 1e-12
 
     def test_invalid_blocks(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             BlockScheduler(SerialScheduler(), 0)
 
 

@@ -444,3 +444,76 @@ def test_tune_train_refuses_to_overwrite_model_with_empty_fit(
                  model]) == 2
     assert "refusing to overwrite" in capsys.readouterr().err
     assert json.loads(open(model).read()) == before
+
+
+# ----------------------------------------------------------------------
+# repro check
+# ----------------------------------------------------------------------
+
+def test_check_source_clean_head(capsys):
+    assert main(["check", "source"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_check_source_json_payload(capsys):
+    import json
+
+    assert main(["check", "source", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["n_findings"] == 0
+    assert len(payload["rules"]) == 5
+
+
+def test_check_source_seeded_violation_nonzero(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nassert time.time()\n")
+    assert main(["check", "source", "--path", str(bad), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    fired = {f["rule"] for f in payload["findings"]}
+    assert fired == {"wallclock-timing", "no-bare-assert"}
+
+
+def test_check_plan_matrix(matrix_file, capsys):
+    import json
+
+    assert main(["check", "plan", "--matrix", matrix_file,
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["n_plans"] == 1
+    assert payload["plans"][0]["plan"] == matrix_file
+
+
+def test_check_plan_builtin_corpus(capsys):
+    import json
+
+    assert main(["check", "plan", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["n_plans"] >= 8
+    names = {p["plan"] for p in payload["plans"]}
+    assert any("backward" in n for n in names)
+    assert set(payload["invariants"]) >= {
+        "dependency-safety", "gather-bounds", "batch-pointer",
+    }
+
+
+def test_check_all_human_output(capsys):
+    assert main(["check", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "source: clean" in out
+    assert "plan: clean" in out
+
+
+def test_check_rules_catalogue(capsys):
+    assert main(["check", "source", "--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "lock-discipline" in out and "atomic-write" in out
+
+
+def test_check_missing_path_is_error(capsys):
+    assert main(["check", "source", "--path", "/no/such/dir"]) == 2
+    assert "error" in capsys.readouterr().err

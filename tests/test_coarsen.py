@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from repro.errors import InvalidPartitionError
+from repro.errors import InvalidPartitionError, ReproError
 from repro.graph.coarsen import (
     coarsen,
     in_funnel_partition,
@@ -83,7 +83,7 @@ class TestFunnelPartition:
 
     def test_invalid_max_weight(self):
         dag = DAG.from_edges(2, [(0, 1)])
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             in_funnel_partition(dag, max_weight=0)
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from repro.errors import MatrixFormatError
+from repro.errors import MatrixFormatError, ReproError
 from repro.graph.dag import DAG
 from repro.matrix.csr import CSRMatrix
 from tests.conftest import lower_triangular_matrices
@@ -22,7 +22,7 @@ class TestFromLowerTriangular:
         )
         dag = DAG.from_lower_triangular(m)
         assert dag.m == 5
-        assert set(map(tuple, zip(*dag.edges()))) == {
+        assert set(map(tuple, zip(*dag.edges(), strict=True))) == {
             (0, 2), (1, 2), (2, 3), (2, 4), (3, 5)
         }
         # weights = row nnz
@@ -32,7 +32,7 @@ class TestFromLowerTriangular:
 
     def test_rejects_upper(self):
         m = CSRMatrix.from_coo(2, [0, 0, 1], [0, 1, 1], [1.0, 1.0, 1.0])
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             DAG.from_lower_triangular(m)
 
     def test_diagonal_only_has_no_edges(self):

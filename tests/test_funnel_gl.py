@@ -1,6 +1,8 @@
 """Tests specific to the Funnel+GrowLocal composite scheduler."""
 
 import pytest
+
+from repro.errors import ReproError
 from hypothesis import given, settings
 
 from repro.graph.dag import DAG
@@ -10,7 +12,7 @@ from tests.conftest import dag_and_cores
 
 class TestConfiguration:
     def test_invalid_factor(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             FunnelGrowLocalScheduler(max_weight_factor=0.0)
 
     def test_custom_inner(self):

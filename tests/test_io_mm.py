@@ -8,6 +8,7 @@ from hypothesis import given, settings
 
 from repro.errors import MatrixFormatError
 from repro.matrix.csr import CSRMatrix
+from repro.matrix.generators import narrow_band_lower
 from repro.matrix.io_mm import read_matrix_market, write_matrix_market
 from tests.conftest import lower_triangular_matrices
 
@@ -102,3 +103,42 @@ def test_property_roundtrip(m):
     buf.seek(0)
     back = read_matrix_market(buf)
     np.testing.assert_allclose(back.to_dense(), m.to_dense())
+
+
+class TestAtomicWrite:
+    """``write_matrix_market`` must never tear an existing file."""
+
+    def test_failed_serialization_preserves_previous_file(self, tmp_path):
+        target = tmp_path / "m.mtx"
+        good = narrow_band_lower(10, 0.4, 3.0, seed=0)
+        write_matrix_market(good, target)
+        before = target.read_text()
+
+        class _Poison:
+            """A matrix whose data fails mid-serialization."""
+
+            n = good.n
+            nnz = good.nnz
+            indices = good.indices
+
+            @staticmethod
+            def row_nnz():
+                return good.row_nnz()
+
+            # a non-float in data makes the f"{v:.17g}" format raise
+            # partway through rendering, after some rows already built
+            data = list(good.data[:-1]) + [object()]
+
+        with pytest.raises(TypeError):
+            write_matrix_market(_Poison(), target)
+
+        assert target.read_text() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_write_lands_atomically_with_no_litter(self, tmp_path):
+        target = tmp_path / "out.mtx"
+        m = narrow_band_lower(8, 0.4, 3.0, seed=1)
+        write_matrix_market(m, target)
+        back = read_matrix_market(target)
+        np.testing.assert_allclose(back.to_dense(), m.to_dense())
+        assert [p.name for p in tmp_path.iterdir()] == ["out.mtx"]

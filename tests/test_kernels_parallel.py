@@ -245,7 +245,7 @@ class TestFusion:
             plan = compile_plan(matrix, fuse_threshold=4)
             spans = fused_dispatch(plan)
             assert spans[0][0] == 0 and spans[-1][1] == plan.n, name
-            for (_, hi, _p), (lo, _, _q) in zip(spans, spans[1:]):
+            for (_, hi, _p), (lo, _, _q) in zip(spans, spans[1:], strict=False):
                 assert hi == lo, name
 
     def test_dispatch_parallel_only_for_large_single_batches(self):

@@ -59,7 +59,7 @@ def assert_equivalent(seq, par):
     assert set(seq) == set(par)
     for name in seq:
         assert len(seq[name]) == len(par[name])
-        for a, b in zip(seq[name], par[name]):
+        for a, b in zip(seq[name], par[name], strict=True):
             row_a, row_b = a.as_row(), b.as_row()
             for field, value in row_a.items():
                 if field in TIMING_FIELDS:

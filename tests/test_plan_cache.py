@@ -117,7 +117,7 @@ class TestRunnerIntegration:
         assert cache.misses == misses_after_first  # nothing recompiled
         # identical numbers out of the cached artifacts
         for name in schedulers:
-            for a, b in zip(first[name], second[name]):
+            for a, b in zip(first[name], second[name], strict=True):
                 assert a.speedup == b.speedup
                 assert a.parallel_cycles == b.parallel_cycles
                 assert a.scheduling_seconds == b.scheduling_seconds
@@ -210,7 +210,7 @@ class TestBoundedSuite:
         unbounded = run_suite(instances, schedulers, MACHINE,
                               plan_cache=PlanCache())
         for name in schedulers:
-            for a, b in zip(bounded[name], unbounded[name]):
+            for a, b in zip(bounded[name], unbounded[name], strict=True):
                 assert a.speedup == b.speedup
                 assert a.parallel_cycles == b.parallel_cycles
 

@@ -3,6 +3,8 @@ valid schedules on arbitrary DAGs (the central correctness property)."""
 
 import numpy as np
 import pytest
+
+from repro.errors import ReproError
 from hypothesis import given, settings
 
 from repro.graph.dag import DAG
@@ -73,15 +75,15 @@ class TestGrowLocal:
         assert s.n_supersteps == 1
 
     def test_param_validation(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             GrowLocalScheduler(sync_penalty=-1)
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             GrowLocalScheduler(alpha0=0)
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             GrowLocalScheduler(growth=1.0)
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             GrowLocalScheduler(acceptance=0.0)
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             GrowLocalScheduler(min_improvement=-0.1)
 
     def test_literal_paper_mode_still_valid(self, small_er_lower):
@@ -108,7 +110,7 @@ class TestGrowLocal:
 
 class TestHDagg:
     def test_balance_threshold_validation(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             HDaggScheduler(imbalance_threshold=0.5)
 
     def test_no_coarsening_mode(self, small_er_lower):
@@ -174,7 +176,7 @@ class TestBSPList:
         assert w.max() <= 6
 
     def test_param_validation(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             BSPListScheduler(superstep_work=0.0)
 
 
@@ -187,7 +189,7 @@ class TestRegistry:
             assert sched is not None
 
     def test_unknown_name(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             make_scheduler("nope")
 
     def test_kwargs_forwarded(self):

@@ -97,7 +97,7 @@ class TestSolveServiceOracle:
             service.register("sys", lower, schedule)
             futures = service.submit_many("sys", bs)
             xs = [f.result(timeout=30) for f in futures]
-        for x, b in zip(xs, bs):
+        for x, b in zip(xs, bs, strict=True):
             np.testing.assert_array_equal(x, backend.solve(plan, b))
 
     def test_single_submit_and_blocking_solve(self, lower):
@@ -133,7 +133,7 @@ class TestSolveServiceOracle:
                 bs = [rng.standard_normal(mats[key].n) for _ in range(10)]
                 barrier.wait()
                 futures = service.submit_many(key, bs)
-                for b, fut in zip(bs, futures):
+                for b, fut in zip(bs, futures, strict=True):
                     x = fut.result(timeout=30)
                     if not np.array_equal(
                         x, backend.solve(plans[key], b)
@@ -262,7 +262,8 @@ class TestSolveServiceBehavior:
             futures = service.submit_many("s", bs)
             cancelled = futures[0].cancel()  # may race with the worker
             survivors = [f for f, c in zip(futures,
-                                           [cancelled] + [False] * 7)
+                                           [cancelled] + [False] * 7,
+                                           strict=True)
                          if not c]
             results = [f.result(timeout=30) for f in survivors]
             assert len(results) == 8 - int(cancelled)

@@ -9,6 +9,7 @@ import scipy.sparse.linalg as spla
 from repro.errors import (
     InvalidScheduleError,
     MatrixFormatError,
+    ReproError,
     SingularMatrixError,
 )
 from repro.graph.dag import DAG
@@ -56,7 +57,7 @@ class TestForward:
 
     def test_not_lower_rejected(self):
         m = CSRMatrix.from_coo(2, [0, 0, 1], [0, 1, 1], [1.0, 1.0, 1.0])
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             forward_substitution(m, np.ones(2))
 
 

@@ -49,7 +49,7 @@ def test_mask_positions_align_with_edges():
     dag = DAG.from_edges(3, [(0, 1), (1, 2), (0, 2)])
     mask = transitive_edge_mask(dag)
     src, dst = dag.edges()
-    removed = {(int(s), int(d)) for s, d, m in zip(src, dst, mask) if m}
+    removed = {(int(s), int(d)) for s, d, m in zip(src, dst, mask, strict=True) if m}
     assert removed == {(0, 2)}
 
 
@@ -90,7 +90,7 @@ def test_property_idempotent_on_result_edges(dag):
     src, dst = dag.edges()
     mask = transitive_edge_mask(dag)
     parent_sets = [set(map(int, dag.parents(v))) for v in range(dag.n)]
-    for s, d, m in zip(src, dst, mask):
+    for s, d, m in zip(src, dst, mask, strict=True):
         covered = any(
             int(s) in parent_sets[w] for w in parent_sets[int(d)]
         )

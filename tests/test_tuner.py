@@ -15,7 +15,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.exec import PlanCache, get_backend
 from repro.experiments.datasets import DatasetInstance, build_dataset
 from repro.experiments.runner import run_instance, run_suite
@@ -221,7 +221,7 @@ class TestTunerOnDataset:
                                       shared_cache)
         matches = 0
         for i, (inst, decision) in enumerate(
-            zip(dataset_instances, decisions)
+            zip(dataset_instances, decisions, strict=True)
         ):
             per_sched = {
                 name: exhaustive[name][i].parallel_cycles
@@ -483,7 +483,7 @@ class TestServiceAuto:
             assert np.array_equal(x, get_backend().solve(tuned, b))
             # size-incompatible plan is rejected
             other = compile_plan(narrow_band_lower(50, 0.2, 5.0, seed=0))
-            with pytest.raises(Exception):
+            with pytest.raises(ReproError):
                 svc.hot_swap("sys", other)
 
     def test_register_rejects_unknown_schedule_spec(self, lower):
