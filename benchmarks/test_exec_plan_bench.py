@@ -243,3 +243,110 @@ class TestValidationZeroOverheadFloor:
             f"validated compile {on * 1e3:.2f} ms vs plain "
             f"{off * 1e3:.2f} ms"
         )
+
+
+class TestObsZeroOverheadFloor:
+    """Observability is strictly opt-in: with ``REPRO_OBS`` off, the
+    subsystem is never imported and the exec hot path pays at most one
+    environment read per gate check — the floor ``docs/observability.md``
+    promises.
+    """
+
+    def _matrix(self):
+        n = 1_000 if SMOKE else 3_000
+        return erdos_renyi_lower(n, 5e-3, seed=0)
+
+    def test_gate_off_never_imports_obs(self):
+        """A fresh gate-off process compiling and solving must not load
+        repro.obs (subprocess so this test's own imports can't leak)."""
+        import subprocess
+        import sys
+
+        code = (
+            "import os, sys\n"
+            "os.environ.pop('REPRO_OBS', None)\n"
+            "import numpy as np\n"
+            "from repro.exec import compile_plan, get_backend\n"
+            "from repro.matrix.generators import erdos_renyi_lower\n"
+            "m = erdos_renyi_lower(500, 5e-3, seed=0)\n"
+            "plan = compile_plan(m)\n"
+            "get_backend().solve(plan, np.ones(m.n))\n"
+            "assert 'repro.obs' not in sys.modules\n"
+            "print('CLEAN')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "CLEAN" in proc.stdout
+
+    def test_gate_off_get_obs_is_cheap(self, monkeypatch):
+        """The per-call-site cost with the gate off is one env read."""
+        from repro.obs_gate import get_obs
+
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        calls = 100_000
+        with Timer() as t:
+            for _ in range(calls):
+                get_obs()
+        per_call = t.elapsed / calls
+        # a dict lookup plus a string compare; 5 µs/call is orders of
+        # magnitude above reality but fails on a pathological regression
+        assert per_call < 5e-6, (
+            f"disabled get_obs() costs {per_call * 1e9:.0f} ns/call"
+        )
+
+    def test_gate_off_compile_and_solve_floor(self, monkeypatch):
+        """Instrumented compile/solve with the gate off must cost the
+        same as before the telemetry layer existed."""
+        from repro.obs_gate import set_enabled
+
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        lower = self._matrix()
+        b = np.ones(lower.n)
+        backend = get_backend()
+        plan = compile_plan(lower)  # warm caches
+        backend.solve(plan, b)
+
+        set_enabled(False)
+        try:
+            base_compile = _median_time(lambda: compile_plan(lower))
+            base_solve = _median_time(lambda: backend.solve(plan, b))
+        finally:
+            set_enabled(None)
+        gated_compile = _median_time(lambda: compile_plan(lower))
+        gated_solve = _median_time(lambda: backend.solve(plan, b))
+
+        # identical code path modulo one env read; generous 1.5x bound
+        # keeps the floor meaningful without flaking on timer noise
+        assert gated_compile <= base_compile * 1.5 + 1e-3, (
+            f"gate-off compile {gated_compile * 1e3:.2f} ms vs forced-"
+            f"off {base_compile * 1e3:.2f} ms"
+        )
+        assert gated_solve <= base_solve * 1.5 + 1e-3, (
+            f"gate-off solve {gated_solve * 1e3:.2f} ms vs forced-off "
+            f"{base_solve * 1e3:.2f} ms"
+        )
+
+    def test_obs_on_compile_is_bounded(self, monkeypatch):
+        """Opt-in telemetry stays a small multiple of the plain cost."""
+        from repro.obs_gate import get_obs, set_enabled
+
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        lower = self._matrix()
+        off = _median_time(lambda: compile_plan(lower))
+        set_enabled(True)
+        try:
+            get_obs().reset()
+            compile_plan(lower)  # warm the instrumented path
+            on = _median_time(lambda: compile_plan(lower))
+            get_obs().reset()
+        finally:
+            set_enabled(None)
+        # one span, one histogram observe and two counter incs per
+        # compile — far below one compile's work
+        assert on <= off * 3 + 5e-3, (
+            f"instrumented compile {on * 1e3:.2f} ms vs plain "
+            f"{off * 1e3:.2f} ms"
+        )

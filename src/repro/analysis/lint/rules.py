@@ -18,6 +18,11 @@ for the catalogue with rationale and suppression syntax):
   raises the wrong type; library validation raises typed errors from
   :mod:`repro.errors`.  (Internal type-narrowing asserts carry an
   explicit ``# repro: allow[no-bare-assert]``.)
+* ``direct-timing-in-hot-path`` — the execution hot path
+  (``repro/exec/``) must not read clocks or construct
+  :class:`~repro.utils.timing.Timer` directly; timing there flows
+  through the observability facade (``get_obs()`` → ``obs.clock()``)
+  so the disabled gate keeps the hot path measurement-free.
 * ``lock-discipline`` — in a class that creates a
   ``threading.Lock``/``Condition``, attribute writes reachable outside
   a ``with self._lock:`` block are data races waiting for a scheduler
@@ -40,6 +45,7 @@ from repro.analysis.lint.engine import (
 
 __all__ = [
     "AtomicWriteRule",
+    "DirectTimingInHotPathRule",
     "LockDisciplineRule",
     "NoBareAssertRule",
     "UnseededRngRule",
@@ -134,9 +140,9 @@ class WallclockTimingRule(Rule):
     description = (
         "wall-clock reads (time.time/perf_counter/monotonic/"
         "process_time) are confined to utils/timing.py, service/, "
-        "tuner/race.py and experiments/bench.py — everywhere else "
-        "timing flows through utils.timing.Timer so deterministic "
-        "paths stay deterministic"
+        "obs/, tuner/race.py and experiments/bench.py — everywhere "
+        "else timing flows through utils.timing.Timer (or the obs "
+        "facade) so deterministic paths stay deterministic"
     )
 
     _CLOCKS = frozenset((
@@ -157,7 +163,10 @@ class WallclockTimingRule(Rule):
         path = module.path.replace("\\", "/")
         if any(path.endswith(sfx) for sfx in self._WHITELIST_SUFFIXES):
             return True
-        return "repro/service/" in path
+        # the service layer measures latency; the obs subsystem *is*
+        # the measurement infrastructure (its clock re-export is what
+        # the rest of the repo routes through)
+        return "repro/service/" in path or "repro/obs/" in path
 
     def check(self, module: ModuleSource) -> Iterator[LintFinding]:
         if self._whitelisted(module):
@@ -171,6 +180,49 @@ class WallclockTimingRule(Rule):
                     f"{origin}() outside the timing whitelist; measure "
                     f"through repro.utils.timing.Timer or move the "
                     f"code into a measurement module",
+                )
+
+
+@register_rule
+class DirectTimingInHotPathRule(Rule):
+    id = "direct-timing-in-hot-path"
+    severity = "error"
+    autofixable = False
+    description = (
+        "the execution hot path (repro/exec/) must not read clocks or "
+        "construct utils.timing.Timer directly; route timing through "
+        "the observability facade (get_obs() -> obs.clock()) so the "
+        "disabled REPRO_OBS gate keeps solve/compile measurement-free"
+    )
+
+    _HOT_PATH_FRAGMENT = "repro/exec/"
+    _TIMER_ORIGINS = frozenset((
+        "repro.utils.timing.Timer",
+        "repro.utils.Timer",
+    ))
+
+    def check(self, module: ModuleSource) -> Iterator[LintFinding]:
+        path = module.path.replace("\\", "/")
+        if self._HOT_PATH_FRAGMENT not in path:
+            return
+        imports = _Imports(module.tree)
+        for call in _calls(module.tree):
+            origin = imports.resolve(call.func)
+            if origin is None:
+                continue
+            if origin in WallclockTimingRule._CLOCKS:
+                yield self.finding(
+                    module, call,
+                    f"{origin}() read directly on the execution hot "
+                    f"path; call obs.clock() behind get_obs() so the "
+                    f"disabled gate pays nothing",
+                )
+            elif origin in self._TIMER_ORIGINS:
+                yield self.finding(
+                    module, call,
+                    "utils.timing.Timer constructed on the execution "
+                    "hot path; instrument through the obs facade "
+                    "(get_obs() histograms) instead",
                 )
 
 

@@ -27,6 +27,9 @@ Exposes the library's main workflows without writing Python::
                               --output L.mtx
     python -m repro datasets  --name suitesparse
     python -m repro machines
+    python -m repro obs       report --dir .repro-obs --json
+    python -m repro obs       tail --dir .repro-obs -n 20
+    python -m repro obs       export --dir .repro-obs
 
 ``compare``, ``suite``, ``tune`` and every ``store`` verb accept
 ``--json`` for machine-readable output (consumed by CI smoke checks
@@ -48,6 +51,7 @@ import json
 import math
 import os
 import sys
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -130,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(1 = run in-process)")
     p.add_argument("--limit", type=int, default=None,
                    help="only the first K instances of the dataset")
+    p.add_argument("--obs-dir", default=None,
+                   help="enable observability for this run and drop "
+                        "the metrics snapshot + trace JSONL here "
+                        "(readable with 'repro obs report --dir ...')")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON instead of a table")
 
@@ -302,8 +310,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None,
                    help="write BENCH_<suite>.json files into this "
                         "directory")
+    p.add_argument("--obs-dir", default=None,
+                   help="enable observability for this run and drop "
+                        "the metrics snapshot + trace JSONL here")
     p.add_argument("--json", action="store_true",
                    help="print results as JSON instead of tables")
+
+    p = sub.add_parser(
+        "obs",
+        help="observability: percentile reports, trace tails and "
+             "Prometheus export over a flushed obs directory",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    po = obs_sub.add_parser(
+        "report",
+        help="per-system latency/batch percentiles plus counters from "
+             "a flushed metrics snapshot",
+    )
+    po.add_argument("--dir", default=None,
+                    help="obs directory (default: $REPRO_OBS_DIR or "
+                         ".repro-obs)")
+    po.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of tables")
+
+    po = obs_sub.add_parser(
+        "tail", help="print the most recent trace events"
+    )
+    po.add_argument("--dir", default=None,
+                    help="obs directory (default: $REPRO_OBS_DIR or "
+                         ".repro-obs)")
+    po.add_argument("-n", "--count", type=int, default=20,
+                    help="events to show (default 20)")
+    po.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of lines")
+
+    po = obs_sub.add_parser(
+        "export",
+        help="Prometheus text exposition of the metrics snapshot",
+    )
+    po.add_argument("--dir", default=None,
+                    help="obs directory (default: $REPRO_OBS_DIR or "
+                         ".repro-obs)")
+    po.add_argument("--output", default=None,
+                    help="write the exposition text here instead of "
+                         "stdout")
+    po.add_argument("--json", action="store_true",
+                    help="raw snapshot JSON instead of Prometheus text")
 
     p = sub.add_parser(
         "check",
@@ -396,6 +449,33 @@ def _json_sanitize(value):
     return value
 
 
+@contextmanager
+def _obs_dir_scope(obs_dir: str | None):
+    """Force the ``REPRO_OBS`` gate on for one CLI run (``--obs-dir``)
+    and flush the metrics snapshot + trace into ``obs_dir`` afterwards.
+
+    The gate is forced through the *environment* rather than
+    :func:`repro.obs_gate.set_enabled`, so parallel-suite worker
+    processes inherit it and contribute per-shard registries.  The
+    previous environment value is always restored.
+    """
+    if not obs_dir:
+        yield
+        return
+    from repro.obs_gate import OBS_ENV_VAR, get_obs
+
+    previous = os.environ.get(OBS_ENV_VAR)
+    os.environ[OBS_ENV_VAR] = "1"
+    try:
+        yield
+        get_obs().flush(obs_dir)
+    finally:
+        if previous is None:
+            os.environ.pop(OBS_ENV_VAR, None)
+        else:
+            os.environ[OBS_ENV_VAR] = previous
+
+
 def _cmd_compare(args) -> int:
     from repro.experiments.datasets import DatasetInstance
     from repro.experiments.runner import run_instance
@@ -457,7 +537,7 @@ def _cmd_suite(args) -> int:
     schedulers = {name: make_scheduler(name) for name in names}
     machine = get_machine(args.machine)
 
-    with Timer() as t:
+    with _obs_dir_scope(args.obs_dir), Timer() as t:
         results = run_suite_parallel(
             instances, schedulers, machine,
             n_cores=args.cores, workers=args.workers,
@@ -869,12 +949,21 @@ def _cmd_bench(args) -> int:
         "tuner": bench_lib.bench_tuner,
     }
     suites = tuple(runners) if args.suite == "all" else (args.suite,)
-    results = {name: runners[name](smoke=args.smoke) for name in suites}
+    with _obs_dir_scope(args.obs_dir):
+        results = {
+            name: runners[name](smoke=args.smoke) for name in suites
+        }
 
-    warm = None
-    if args.report:
-        warm = bench_lib.warm_start_check()
-        results["warm_start"] = warm
+        warm = None
+        if args.report:
+            warm = bench_lib.warm_start_check()
+            results["warm_start"] = warm
+
+    # run provenance: one meta block per payload, so a BENCH_*.json is
+    # attributable to a machine/toolchain/commit across the trajectory
+    meta = bench_lib.run_meta()
+    for payload in results.values():
+        payload["meta"] = meta
 
     if args.output:
         outdir = Path(args.output)
@@ -925,6 +1014,87 @@ def _cmd_bench(args) -> int:
                 file=sys.stderr,
             )
             return 3
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    """``repro obs report|tail|export``: read a flushed obs directory.
+
+    Reading never requires the ``REPRO_OBS`` gate — the gate controls
+    *instrumentation*; these verbs only load the ``metrics.json`` /
+    ``trace.jsonl`` artifacts a gated run flushed.
+    """
+    from repro.experiments.tables import format_table
+    from repro.obs import default_dir
+    from repro.obs.export import load_dir, prometheus_text, report
+    from repro.utils.atomic import atomic_write_text
+
+    directory = args.dir if args.dir is not None else default_dir()
+    snapshot, events = load_dir(directory)
+
+    if args.obs_command == "report":
+        payload = report(snapshot, events)
+        if args.json:
+            print(json.dumps(_json_sanitize(payload), indent=2))
+            return 0
+        rows = []
+        for system, sections in sorted(payload["systems"].items()):
+            latency = sections.get("latency", {})
+            batch = sections.get("batch", {})
+
+            def fmt(value, scale=1.0):
+                return ("-" if value is None
+                        else f"{float(value) * scale:.3f}")
+
+            rows.append([
+                system,
+                latency.get("count", 0),
+                fmt(latency.get("p50"), 1e3),
+                fmt(latency.get("p95"), 1e3),
+                fmt(latency.get("p99"), 1e3),
+                fmt(batch.get("p50")),
+                fmt(batch.get("p99")),
+            ])
+        print(format_table(
+            ["system", "requests", "lat p50 ms", "lat p95 ms",
+             "lat p99 ms", "batch p50", "batch p99"],
+            rows,
+            title=f"obs report ({directory})",
+        ))
+        for key, value in sorted(payload["counters"].items()):
+            print(f"counter {key} = {value:g}")
+        trace = payload.get("trace")
+        if trace:
+            print(f"trace: {trace['events']} event(s)")
+        return 0
+
+    if args.obs_command == "tail":
+        tail = events[-max(int(args.count), 0):]
+        if args.json:
+            print(json.dumps(_json_sanitize(tail), indent=2))
+            return 0
+        for event in tail:
+            tags = ",".join(
+                f"{k}={v}" for k, v in sorted(event["tags"].items())
+            )
+            print(f"{event['ts']:.6f} {event['name']} "
+                  f"span={event['span_id']} "
+                  f"parent={event['parent_id']} "
+                  f"dur={event['dur_s'] * 1e3:.3f}ms "
+                  f"status={event['status']}"
+                  + (f" {tags}" if tags else ""))
+        return 0
+
+    # export
+    if args.json:
+        print(json.dumps(_json_sanitize(snapshot), indent=2))
+        return 0
+    text = prometheus_text(snapshot)
+    if args.output:
+        atomic_write_text(args.output, text)
+        print(f"wrote {args.output}")
+        return 0
+    print(text, end="")
     return 0
 
 
@@ -1015,6 +1185,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "machines": _cmd_machines,
     "bench": _cmd_bench,
+    "obs": _cmd_obs,
     "check": _cmd_check,
 }
 

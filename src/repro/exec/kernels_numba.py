@@ -53,6 +53,7 @@ from types import SimpleNamespace
 import numpy as np
 
 from repro.errors import BackendUnavailableError
+from repro.obs_gate import get_obs
 
 __all__ = [
     "JIT_CACHE_ENV_VAR",
@@ -237,6 +238,8 @@ def jit_kernels() -> SimpleNamespace:
             )
         import numba  # pragma: no cover - requires numba
 
+        obs = get_obs()
+        t0 = obs.clock() if obs is not None else 0.0
         _configure_cache_dir()
         jit = numba.njit(cache=True, nogil=True)
         pjit = numba.njit(parallel=True, cache=True, nogil=True)
@@ -246,6 +249,10 @@ def jit_kernels() -> SimpleNamespace:
             psweep=pjit(_psweep),
             psweep_block=pjit(_psweep_block),
         )
+        if obs is not None:
+            obs.get_registry().histogram(
+                "jit.wrap_seconds"
+            ).observe(obs.clock() - t0)
     return _JITTED
 
 
@@ -270,6 +277,13 @@ def jit_compile_stats() -> dict[str, int]:
         if hits is not None:
             out["cache_hits"] += int(sum(hits.values()))
         out["signatures"] += len(getattr(disp, "signatures", ()))
+    obs = get_obs()
+    if obs is not None:
+        registry = obs.get_registry()
+        for name, value in out.items():
+            # gauges, not counters: numba's dispatcher stats are already
+            # cumulative, so re-reading them must overwrite, not add
+            registry.gauge(f"jit.{name}").set(value)
     return out
 
 
@@ -281,6 +295,8 @@ def warm_kernels() -> dict[str, int]:  # pragma: no cover - requires numba
     second process sharing the persistent cache — performs zero compiles.
     Returns :func:`jit_compile_stats` afterwards.
     """
+    obs = get_obs()
+    t0 = obs.clock() if obs is not None else 0.0
     k = jit_kernels()
     rows = np.array([0, 1], dtype=np.int64)
     off_ptr = np.array([0, 0, 1], dtype=np.int64)
@@ -298,4 +314,8 @@ def warm_kernels() -> dict[str, int]:  # pragma: no cover - requires numba
     k.psweep_block(
         rows, off_ptr, off_cols, off_vals, diag, b2, np.zeros((2, 3)), 0, 1
     )
+    if obs is not None:
+        obs.get_registry().histogram(
+            "jit.warm_seconds"
+        ).observe(obs.clock() - t0)
     return jit_compile_stats()

@@ -54,6 +54,7 @@ import numpy as np
 from repro.errors import ConfigurationError, MatrixFormatError, \
     SingularMatrixError
 from repro.matrix.csr import CSRMatrix
+from repro.obs_gate import get_obs
 from repro.scheduler.schedule import Schedule
 from repro.utils.arrays import segmented_gather
 
@@ -368,6 +369,40 @@ def compile_plan(
     >>> np.allclose(x, forward_substitution(L, np.ones(L.n)))
     True
     """
+    obs = get_obs()
+    if obs is None:
+        return _compile_plan_impl(
+            matrix, schedule,
+            direction=direction, check_diagonal=check_diagonal,
+            fuse_threshold=fuse_threshold, validate=validate,
+        )
+    # gate on: wrap lowering in a span and record compile seconds (the
+    # clock runs behind the facade, so the disabled path reads no clock
+    # at all — the direct-timing-in-hot-path lint invariant)
+    with obs.span("exec.compile", n=matrix.n, direction=direction):
+        t0 = obs.clock()
+        plan = _compile_plan_impl(
+            matrix, schedule,
+            direction=direction, check_diagonal=check_diagonal,
+            fuse_threshold=fuse_threshold, validate=validate,
+        )
+        obs.get_registry().histogram(
+            "exec.compile_seconds"
+        ).observe(obs.clock() - t0)
+        obs.get_registry().counter("exec.compiles").inc()
+        return plan
+
+
+def _compile_plan_impl(
+    matrix: CSRMatrix,
+    schedule: Schedule | None = None,
+    *,
+    direction: str = "forward",
+    check_diagonal: bool = True,
+    fuse_threshold: int | None = None,
+    validate: bool | None = None,
+) -> ExecutionPlan:
+    """Instrumentation-free body of :func:`compile_plan`."""
     if direction not in ("forward", "backward"):
         raise MatrixFormatError(f"unknown direction {direction!r}")
     if direction == "forward":

@@ -36,6 +36,8 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, TypeVar
 
+from repro.obs_gate import get_obs
+
 __all__ = ["PlanCache"]
 
 T = TypeVar("T")
@@ -71,13 +73,18 @@ class PlanCache:
     (1, 1)
     """
 
-    __slots__ = ("_entries", "_lock", "hits", "misses", "max_entries")
+    __slots__ = ("_entries", "_lock", "hits", "misses", "max_entries",
+                 "_obs")
 
     def __init__(self, *, max_entries: int | None = None) -> None:
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: The obs module when ``REPRO_OBS`` is on, else None; captured
+        #: once so the per-lookup cost with the gate off is a single
+        #: attribute test.
+        self._obs = get_obs()
         #: Optional bound; when exceeded the least-recently-used entry is
         #: evicted (compiled plans are cheap to rebuild, so a bound only
         #: caps memory — but it must not evict the entries a suite hits
@@ -91,14 +98,26 @@ class PlanCache:
         callers racing on the same key may build twice, and the first
         insertion wins (builders must be pure).
         """
+        obs = self._obs
         with self._lock:
             if key in self._entries:
                 self.hits += 1
                 self._entries.move_to_end(key)
-                return self._entries[key]  # type: ignore[return-value]
+                value = self._entries[key]
+                if obs is not None:
+                    obs.get_registry().counter("plan_cache.hits").inc()
+                return value  # type: ignore[return-value]
             self.misses += 1
+        if obs is not None:
+            obs.get_registry().counter("plan_cache.misses").inc()
+            t0 = obs.clock()
         value = builder()
+        if obs is not None:
+            obs.get_registry().histogram(
+                "plan_cache.build_seconds"
+            ).observe(obs.clock() - t0)
         _maybe_validate(value)
+        evicted = False
         with self._lock:
             if key in self._entries:
                 # another thread built it while we were; keep the first
@@ -111,6 +130,9 @@ class PlanCache:
                 and len(self._entries) > self.max_entries
             ):
                 self._entries.popitem(last=False)  # least recently used
+                evicted = True
+        if evicted and obs is not None:
+            obs.get_registry().counter("plan_cache.evictions").inc()
         return value
 
     def put(self, key: Hashable, value: T) -> T:
@@ -122,6 +144,7 @@ class PlanCache:
         most-recently-used end.
         """
         _maybe_validate(value)
+        evicted = False
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -130,6 +153,9 @@ class PlanCache:
                 and len(self._entries) > self.max_entries
             ):
                 self._entries.popitem(last=False)
+                evicted = True
+        if evicted and self._obs is not None:
+            self._obs.get_registry().counter("plan_cache.evictions").inc()
         return value
 
     def __contains__(self, key: Hashable) -> bool:

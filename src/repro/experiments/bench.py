@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import subprocess
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
@@ -50,8 +52,53 @@ __all__ = [
     "bench_tuner",
     "make_deep_narrow",
     "make_wide_shallow",
+    "run_meta",
     "warm_start_check",
 ]
+
+
+def run_meta() -> dict[str, object]:
+    """Provenance block stamped into every ``BENCH_*.json`` payload.
+
+    Benchmark numbers are only comparable within one machine/toolchain;
+    the meta block (UTC timestamp, interpreter and array-stack versions,
+    CPU count, git commit when available) makes each point of the
+    committed perf trajectory attributable.  Purely additive — existing
+    payload keys are untouched.
+
+    Examples
+    --------
+    >>> from repro.experiments.bench import run_meta
+    >>> meta = run_meta()
+    >>> sorted(meta)[:3]
+    ['cpu_count', 'git_sha', 'numba_version']
+    >>> meta["python_version"] == platform.python_version()
+    True
+    """
+    if have_numba():
+        import numba
+
+        numba_version = numba.__version__
+    else:
+        numba_version = None
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        git_sha = sha.stdout.strip() if sha.returncode == 0 else None
+    except Exception:  # git absent, not a checkout, sandboxed, ...
+        git_sha = None
+    return {
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(),
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy_version": np.__version__,
+        "numba_version": numba_version,
+        "cpu_count": os.cpu_count(),
+        "git_sha": git_sha,
+    }
 
 #: RHS block width of the block-k shape (the service's micro-batch scale).
 BLOCK_K = 16

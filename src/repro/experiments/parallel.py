@@ -47,6 +47,7 @@ from repro.experiments.runner import (
     run_instance,
 )
 from repro.machine.model import MachineModel
+from repro.obs_gate import get_obs
 from repro.scheduler.base import Scheduler
 from repro.store import ObservationStore
 
@@ -69,15 +70,17 @@ def _run_shard(
     n_cores: int | None,
     reorder: bool | None,
     collect_observations: bool = False,
-) -> tuple[dict[str, ExperimentResult], int, int, list[dict]]:
+) -> tuple[dict[str, ExperimentResult], int, int, list[dict], dict | None]:
     """One instance x all schedulers inside a worker process.
 
     Returns the per-scheduler results, this shard's cache hit/miss
     *deltas* (the worker cache is long-lived, so absolute counters would
-    double-count earlier shards), and — when ``collect_observations``
-    is set — the training observations the shard's adaptive schedulers
-    produced, collected through a private in-memory per-worker store
-    (the parent merges them deterministically).
+    double-count earlier shards), the training observations the shard's
+    adaptive schedulers produced when ``collect_observations`` is set
+    (collected through a private in-memory per-worker store, merged
+    deterministically by the parent), and — with the ``REPRO_OBS`` gate
+    on — this shard's metrics snapshot, recorded through a scoped
+    registry so shards never double-count each other.
     """
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else PlanCache()
     hits0, misses0 = cache.hits, cache.misses
@@ -91,17 +94,21 @@ def _run_shard(
         sink = ObservationStore(None)
     ctx = (observation_store_attached(schedulers, sink)
            if sink is not None else nullcontext(0))
-    with ctx:
-        results = {
-            name: run_instance(
-                inst, scheduler, machine,
-                n_cores=n_cores, reorder=reorder, plan_cache=cache,
-            )
-            for name, scheduler in schedulers.items()
-        }
+    obs = get_obs()
+    scope = obs.scoped_registry() if obs is not None else nullcontext()
+    with scope as scoped:
+        with ctx:
+            results = {
+                name: run_instance(
+                    inst, scheduler, machine,
+                    n_cores=n_cores, reorder=reorder, plan_cache=cache,
+                )
+                for name, scheduler in schedulers.items()
+            }
+    metrics_snapshot = scoped.snapshot() if scoped is not None else None
     observations = list(sink) if sink is not None else []
     return (results, cache.hits - hits0, cache.misses - misses0,
-            observations)
+            observations, metrics_snapshot)
 
 
 def run_suite_parallel(
@@ -205,17 +212,32 @@ def run_suite_parallel(
     if store is not None:
         # deterministic merge of the per-worker observation stores:
         # instance order, content dedup, one flush
-        for _, _, _, observations in shards:
+        for _, _, _, observations, _ in shards:
             store.ingest(observations)
         store.flush()
 
+    # deterministic merge of the per-shard metrics registries: shards
+    # are ingested in instance order (never completion order) into the
+    # parent's process-wide registry, and every result carries the same
+    # merged snapshot — identical bucket specs make the merged
+    # percentiles bit-equal to one registry observing everything
+    obs = get_obs()
+    merged_metrics = None
+    if obs is not None:
+        registry = obs.get_registry()
+        for _, _, _, _, snapshot in shards:
+            if snapshot is not None:
+                registry.ingest(snapshot)
+        merged_metrics = registry.snapshot()
+
     out: dict[str, list[ExperimentResult]] = {name: [] for name in schedulers}
-    total_hits = sum(h for _, h, _, _ in shards)
-    total_misses = sum(m for _, _, m, _ in shards)
-    for results, _, _, _ in shards:
+    total_hits = sum(h for _, h, _, _, _ in shards)
+    total_misses = sum(m for _, _, m, _, _ in shards)
+    for results, _, _, _, _ in shards:
         for name in schedulers:
             result = results[name]
             result.plan_cache_hits = total_hits
             result.plan_cache_misses = total_misses
+            result.metrics = merged_metrics
             out[name].append(result)
     return out

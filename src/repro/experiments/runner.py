@@ -85,10 +85,17 @@ class ExperimentResult:
     #: rows — including those produced by parallel-suite workers — are
     #: attributable to a kernel tier.
     backend: str = ""
+    #: Merged obs metrics snapshot of the suite run that produced this
+    #: result (``REPRO_OBS`` on; ``None`` otherwise).  Excluded from
+    #: :meth:`as_row` — it is a nested payload, not a table column.
+    metrics: dict | None = None
 
     def as_row(self) -> dict[str, object]:
-        """Plain-dict view for table emitters."""
-        return dict(self.__dict__)
+        """Plain-dict view for table emitters (without the nested
+        ``metrics`` snapshot)."""
+        row = dict(self.__dict__)
+        row.pop("metrics", None)
+        return row
 
 
 @dataclass

@@ -1,0 +1,481 @@
+"""Metrics: counters, gauges and mergeable log-bucket histograms.
+
+Design constraints (the reasons this is not a ``dict`` of floats):
+
+* **Hot-path writes take no lock.**  Counters and histograms keep one
+  cell per writer thread; after a thread's first touch, ``inc`` /
+  ``observe`` mutate only that thread's cell — single-writer, so no
+  increment is ever lost and no lock is contended (the same discipline
+  :class:`~repro.exec.PlanCache` applies to its builders).  The
+  registry lock guards only cell/metric *creation* and snapshots.
+* **Snapshots never tear.**  A snapshot sums the per-thread cells under
+  the creation lock; it may miss increments still in flight (they land
+  in the next snapshot) but never observes a half-written value.
+* **Histograms are mergeable.**  Buckets are *fixed* log-spaced edges
+  derived from ``(lo, hi, per_decade)`` — every histogram of the same
+  spec has bit-identical edges, so merging two shards' snapshots just
+  adds bucket counts, and the merged percentiles equal the percentiles
+  of one registry that observed the union.  Reported percentiles sit at
+  the geometric midpoint of their bucket: with the default 16 buckets
+  per decade the relative error vs an exact sort is bounded by
+  ``10**(1/32) - 1`` (~7.5%), the figure ``docs/observability.md``
+  documents.
+
+Examples
+--------
+>>> from repro.obs.metrics import MetricsRegistry, merge_snapshots
+>>> a, b = MetricsRegistry(), MetricsRegistry()
+>>> for v in (0.010, 0.020):
+...     a.histogram("lat").observe(v)
+>>> b.histogram("lat").observe(0.040)
+>>> merged = merge_snapshots(a.snapshot(), b.snapshot())
+>>> merged["histograms"]["lat"]["count"]
+3
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_HI",
+    "DEFAULT_LO",
+    "DEFAULT_PER_DECADE",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "snapshot_percentile",
+]
+
+#: Default histogram range: 100 ns .. 10 000 s — every latency this
+#: repo can produce, from a single gate check to a full suite run.
+DEFAULT_LO = 1e-7
+DEFAULT_HI = 1e4
+
+#: Buckets per decade.  16 gives a bucket ratio of ``10**(1/16)``
+#: (~15.5%) and a midpoint percentile error bound of ``10**(1/32) - 1``
+#: (~7.5%) — tight enough for p50/p99 dashboards, coarse enough that a
+#: full histogram is ~178 integers.
+DEFAULT_PER_DECADE = 16
+
+
+def metric_key(name: str, labels: dict[str, str]) -> str:
+    """Canonical ``name{k=v,...}`` key (sorted labels; bare name when
+    unlabelled) — the snapshot/Prometheus identity of a metric."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing counter with per-thread cells."""
+
+    __slots__ = ("name", "labels", "_lock", "_cells")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._cells: dict[int, list[float]] = {}
+
+    def _cell(self) -> list[float]:
+        ident = threading.get_ident()
+        cell = self._cells.get(ident)
+        if cell is None:
+            with self._lock:
+                cell = self._cells.setdefault(ident, [0.0])
+        return cell
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (lock-free after this thread's first increment)."""
+        self._cell()[0] += n
+
+    @property
+    def value(self) -> float:
+        """Current total across all writer threads."""
+        with self._lock:
+            return sum(cell[0] for cell in self._cells.values())
+
+    def _snapshot(self) -> dict[str, object]:
+        return {"name": self.name, "labels": dict(self.labels),
+                "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _snapshot(self) -> dict[str, object]:
+        return {"name": self.name, "labels": dict(self.labels),
+                "value": self.value}
+
+
+class _HistCell:
+    """One writer thread's private histogram state (single-writer)."""
+
+    __slots__ = ("counts", "n", "total", "vmin", "vmax")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.n = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+
+class Histogram:
+    """Fixed log-spaced-bucket histogram with mergeable snapshots.
+
+    Bucket ``0`` holds values ``<= lo``; bucket ``i`` (``1..nb``) holds
+    ``lo * r**(i-1) < v <= lo * r**i`` with ``r = 10**(1/per_decade)``;
+    the last bucket holds values ``> hi``.  Two histograms with the
+    same ``(lo, hi, per_decade)`` have identical edges, which is what
+    makes shard merges exact at the bucket level.
+    """
+
+    __slots__ = ("name", "labels", "lo", "hi", "per_decade",
+                 "_n_buckets", "_log_r", "_log_lo", "_lock", "_cells")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str],
+        *,
+        lo: float = DEFAULT_LO,
+        hi: float = DEFAULT_HI,
+        per_decade: int = DEFAULT_PER_DECADE,
+    ) -> None:
+        if not (0.0 < lo < hi):
+            raise ConfigurationError(
+                f"histogram bounds need 0 < lo < hi, got ({lo}, {hi})"
+            )
+        if per_decade < 1:
+            raise ConfigurationError("per_decade must be >= 1")
+        self.name = name
+        self.labels = labels
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.per_decade = int(per_decade)
+        decades = math.log10(self.hi / self.lo)
+        inner = max(int(math.ceil(decades * self.per_decade - 1e-9)), 1)
+        # +2: one underflow and one overflow bucket
+        self._n_buckets = inner + 2
+        self._log_r = math.log(10.0) / self.per_decade
+        self._log_lo = math.log(self.lo)
+        self._lock = threading.Lock()
+        self._cells: dict[int, _HistCell] = {}
+
+    @property
+    def spec(self) -> tuple[float, float, int]:
+        return (self.lo, self.hi, self.per_decade)
+
+    def _cell(self) -> _HistCell:
+        ident = threading.get_ident()
+        cell = self._cells.get(ident)
+        if cell is None:
+            with self._lock:
+                cell = self._cells.setdefault(
+                    ident, _HistCell(self._n_buckets)
+                )
+        return cell
+
+    def bucket_index(self, value: float) -> int:
+        """The bucket a value lands in (0 = underflow, last = overflow)."""
+        if value <= self.lo:
+            return 0
+        if value > self.hi:
+            return self._n_buckets - 1
+        idx = int(math.floor(
+            (math.log(value) - self._log_lo) / self._log_r - 1e-12
+        )) + 1
+        return min(max(idx, 1), self._n_buckets - 2)
+
+    def bucket_upper_edge(self, index: int) -> float:
+        """Upper edge of bucket ``index`` (``inf`` for the overflow)."""
+        if index <= 0:
+            return self.lo
+        if index >= self._n_buckets - 1:
+            return math.inf
+        return math.exp(self._log_lo + index * self._log_r)
+
+    def observe(self, value: float) -> None:
+        """Record one value (lock-free after this thread's first)."""
+        cell = self._cell()
+        cell.counts[self.bucket_index(value)] += 1
+        cell.n += 1
+        cell.total += value
+        if value < cell.vmin:
+            cell.vmin = value
+        if value > cell.vmax:
+            cell.vmax = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(cell.n for cell in self._cells.values())
+
+    def percentile(self, q: float) -> float | None:
+        """The q-quantile (``q`` in [0, 1]); ``None`` when empty."""
+        return snapshot_percentile(self._snapshot(), q)
+
+    def _snapshot(self) -> dict[str, object]:
+        with self._lock:
+            cells = list(self._cells.values())
+            merged = [0] * self._n_buckets
+            n = 0
+            total = 0.0
+            vmin = math.inf
+            vmax = -math.inf
+            for cell in cells:
+                for i, c in enumerate(cell.counts):
+                    merged[i] += c
+                n += cell.n
+                total += cell.total
+                vmin = min(vmin, cell.vmin)
+                vmax = max(vmax, cell.vmax)
+        counts = {str(i): c for i, c in enumerate(merged) if c}
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "lo": self.lo,
+            "hi": self.hi,
+            "per_decade": self.per_decade,
+            "n_buckets": self._n_buckets,
+            "count": n,
+            "sum": total,
+            "min": None if n == 0 else vmin,
+            "max": None if n == 0 else vmax,
+            "counts": counts,
+        }
+
+    def _ingest(self, snap: dict) -> None:
+        """Fold a snapshot of the same spec into this histogram."""
+        _require_same_spec(self._snapshot(), snap)
+        cell = self._cell()
+        for raw_idx, c in snap.get("counts", {}).items():
+            cell.counts[int(raw_idx)] += int(c)
+        cell.n += int(snap["count"])
+        cell.total += float(snap["sum"])
+        if snap.get("min") is not None:
+            cell.vmin = min(cell.vmin, float(snap["min"]))
+        if snap.get("max") is not None:
+            cell.vmax = max(cell.vmax, float(snap["max"]))
+
+
+def _require_same_spec(a: dict, b: dict) -> None:
+    for field in ("lo", "hi", "per_decade"):
+        if a.get(field) != b.get(field):
+            raise ConfigurationError(
+                f"cannot merge histograms with different bucket specs: "
+                f"{field}={a.get(field)} vs {b.get(field)} "
+                f"(histogram {a.get('name')!r})"
+            )
+
+
+def snapshot_percentile(snap: dict, q: float) -> float | None:
+    """The q-quantile of a histogram *snapshot* (``None`` when empty).
+
+    Returns the geometric midpoint of the bucket containing the rank
+    ``ceil(q * count)`` — the true order statistic lies in the same
+    bucket, so the relative error is bounded by half a bucket ratio
+    (``10**(1/(2*per_decade)) - 1``).  Underflow reports ``lo``;
+    overflow reports ``max`` when known (else ``hi``).
+
+    Examples
+    --------
+    >>> from repro.obs.metrics import Histogram, snapshot_percentile
+    >>> h = Histogram("x", {})
+    >>> for v in (1.0, 2.0, 4.0, 8.0):
+    ...     h.observe(v)
+    >>> round(snapshot_percentile(h._snapshot(), 0.5), 2)  # ~2.0
+    1.91
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    total = int(snap.get("count", 0))
+    if total == 0:
+        return None
+    lo = float(snap["lo"])
+    per_decade = int(snap["per_decade"])
+    n_buckets = int(snap["n_buckets"])
+    log_r = math.log(10.0) / per_decade
+    rank = max(int(math.ceil(q * total)), 1)
+    cum = 0
+    counts = snap.get("counts", {})
+    for i in range(n_buckets):
+        cum += int(counts.get(str(i), 0))
+        if cum >= rank:
+            if i == 0:
+                return lo
+            if i == n_buckets - 1:
+                vmax = snap.get("max")
+                return float(vmax) if vmax is not None else float(
+                    snap["hi"]
+                )
+            # geometric midpoint of (edge(i-1), edge(i)]
+            return math.exp(math.log(lo) + (i - 0.5) * log_r)
+    return float(snap.get("max") or snap["hi"])  # pragma: no cover
+
+
+class MetricsRegistry:
+    """Keyed get-or-create home of every metric in one process/scope.
+
+    Examples
+    --------
+    >>> from repro.obs.metrics import MetricsRegistry
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("cache.hits", cache="plan").inc()
+    >>> reg.counter("cache.hits", cache="plan").value
+    1.0
+    >>> sorted(reg.snapshot()["counters"])
+    ['cache.hits{cache=plan}']
+    """
+
+    __slots__ = ("_lock", "_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get-or-create the counter ``name`` with ``labels``."""
+        labels = {k: str(v) for k, v in labels.items()}
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters.setdefault(
+                    key, Counter(name, labels)
+                )
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get-or-create the gauge ``name`` with ``labels``."""
+        labels = {k: str(v) for k, v in labels.items()}
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges.setdefault(key, Gauge(name, labels))
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        lo: float = DEFAULT_LO,
+        hi: float = DEFAULT_HI,
+        per_decade: int = DEFAULT_PER_DECADE,
+        **labels: object,
+    ) -> Histogram:
+        """Get-or-create the histogram ``name`` with ``labels``.
+
+        Re-requesting an existing histogram with a *different* bucket
+        spec raises :class:`~repro.errors.ConfigurationError` — silently
+        serving mismatched buckets would break shard mergeability.
+        """
+        labels = {k: str(v) for k, v in labels.items()}
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms.setdefault(
+                    key,
+                    Histogram(name, labels, lo=lo, hi=hi,
+                              per_decade=per_decade),
+                )
+        if metric.spec != (float(lo), float(hi), int(per_decade)):
+            raise ConfigurationError(
+                f"histogram {key!r} already registered with bucket spec "
+                f"{metric.spec}, requested ({lo}, {hi}, {per_decade})"
+            )
+        return metric
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready view of every metric (see ``docs/observability.md``
+        for the schema).  Safe to call while writers are active."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "schema": 1,
+            "counters": {k: m._snapshot() for k, m in counters.items()},
+            "gauges": {k: m._snapshot() for k, m in gauges.items()},
+            "histograms": {
+                k: m._snapshot() for k, m in histograms.items()
+            },
+        }
+
+    def ingest(self, snapshot: dict) -> None:
+        """Fold a snapshot (from another shard/worker) into this registry.
+
+        Counter values add, gauges last-write-win, histogram buckets
+        add (specs must match).  Ingesting shards in a fixed order makes
+        the merged registry deterministic regardless of which shard
+        finished first.
+        """
+        for payload in snapshot.get("counters", {}).values():
+            self.counter(payload["name"], **payload["labels"]).inc(
+                payload["value"]
+            )
+        for payload in snapshot.get("gauges", {}).values():
+            self.gauge(payload["name"], **payload["labels"]).set(
+                payload["value"]
+            )
+        for payload in snapshot.get("histograms", {}).values():
+            self.histogram(
+                payload["name"],
+                lo=payload["lo"],
+                hi=payload["hi"],
+                per_decade=payload["per_decade"],
+                **payload["labels"],
+            )._ingest(payload)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return (len(self._counters) + len(self._gauges)
+                    + len(self._histograms))
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})"
+            )
+
+
+def merge_snapshots(a: dict, b: dict) -> dict:
+    """Pure merge of two registry snapshots (commutative; bucket counts
+    and counter values are exact integers/sums, so ``merge(a, b)`` and
+    ``merge(b, a)`` agree — the property test in
+    ``tests/test_obs_metrics.py`` pins this down)."""
+    reg = MetricsRegistry()
+    reg.ingest(a)
+    reg.ingest(b)
+    return reg.snapshot()

@@ -41,10 +41,17 @@ from repro.exec import (
     get_backend,
 )
 from repro.matrix.csr import CSRMatrix
+from repro.obs_gate import get_obs
 from repro.scheduler.schedule import Schedule
 from repro.service.stats import SystemStats
 
 __all__ = ["SolveService"]
+
+#: Bucket spec for the per-system batch-size histogram (``REPRO_OBS``):
+#: batch sizes are small integers, so the latency default (1e-7..1e4 s)
+#: would waste resolution.  Shared constants keep every shard's spec
+#: identical — the precondition for snapshot merging.
+_BATCH_HIST_SPEC = {"lo": 0.5, "hi": 4096.0, "per_decade": 16}
 
 
 class _System:
@@ -62,6 +69,8 @@ class _System:
         "tuned_scheduler",
         "n_plan_swaps",
         "arms",
+        "latency_hist",
+        "batch_hist",
     )
 
     def __init__(self, key: object, plan: ExecutionPlan) -> None:
@@ -79,6 +88,10 @@ class _System:
         self.n_plan_swaps = 0
         #: Per-arm measured seconds from the tuning race.
         self.arms: dict[str, float] = {}
+        #: Obs histograms (``REPRO_OBS`` on), else None — live in the
+        #: process registry under ``system=<key>`` labels.
+        self.latency_hist = None
+        self.batch_hist = None
 
     def snapshot(self, backend: str = "") -> SystemStats:
         return SystemStats(
@@ -93,6 +106,14 @@ class _System:
             n_plan_swaps=self.n_plan_swaps,
             arm_seconds=dict(self.arms),
             backend=backend,
+            latency_hist=(
+                self.latency_hist._snapshot()
+                if self.latency_hist is not None else None
+            ),
+            batch_hist=(
+                self.batch_hist._snapshot()
+                if self.batch_hist is not None else None
+            ),
         )
 
 
@@ -158,6 +179,10 @@ class SolveService:
         self._max_batch = int(max_batch)
         self._cache = plan_cache if plan_cache is not None else PlanCache()
         self._store = store
+        #: The obs module when ``REPRO_OBS`` is on, else None.  Captured
+        #: once: per-request paths test one attribute instead of
+        #: re-reading the environment.
+        self._obs = get_obs()
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._systems: dict[object, _System] = {}
@@ -167,6 +192,19 @@ class SolveService:
             target=self._run, name="repro-solve-service", daemon=True
         )
         self._worker.start()
+
+    def _make_system(self, key: object, plan: ExecutionPlan) -> _System:
+        """Build a system record, attaching obs histograms when enabled."""
+        system = _System(key, plan)
+        if self._obs is not None:
+            registry = self._obs.get_registry()
+            system.latency_hist = registry.histogram(
+                "service.request_latency_seconds", system=str(key)
+            )
+            system.batch_hist = registry.histogram(
+                "service.batch_size", system=str(key), **_BATCH_HIST_SPEC
+            )
+        return system
 
     # ------------------------------------------------------------------
     # registration
@@ -263,7 +301,7 @@ class SolveService:
                     "service is closed; register() after close() is not "
                     "allowed"
                 )
-            self._systems[key] = _System(key, plan)
+            self._systems[key] = self._make_system(key, plan)
         return plan
 
     def _register_auto(
@@ -336,7 +374,7 @@ class SolveService:
                         "service is closed; register() after close() "
                         "is not allowed"
                     )
-                system = _System(key, warm_plan)
+                system = self._make_system(key, warm_plan)
                 system.tuned_scheduler = warm.scheduler
                 system.max_batch = warm.max_batch
                 self._systems[key] = system
@@ -364,7 +402,7 @@ class SolveService:
                     "service is closed; register() after close() is not "
                     "allowed"
                 )
-            system = _System(key, prior_plan)
+            system = self._make_system(key, prior_plan)
             self._systems[key] = system
 
         # 2. race the finalists (passing the prior's ranking so the
@@ -450,6 +488,11 @@ class SolveService:
                 )
             system.plan = plan
             system.n_plan_swaps += 1
+        if self._obs is not None:
+            self._obs.get_registry().counter(
+                "service.hot_swaps", system=str(key)
+            ).inc()
+            self._obs.event("service.hot_swap", system=str(key))
         return plan
 
     def unregister(self, key: object) -> SystemStats:
@@ -517,6 +560,10 @@ class SolveService:
                 self._queue.append(_Request(system, b, fut, now))
                 futures.append(fut)
             self._cond.notify()
+        if self._obs is not None:
+            self._obs.event(
+                "service.enqueue", system=str(key), n=len(checked)
+            )
         return futures
 
     def solve(self, key: object, b: np.ndarray) -> np.ndarray:
@@ -547,7 +594,8 @@ class SolveService:
         elapsed = time.perf_counter() - t0
         k = b_block.shape[1]
         with self._cond:
-            self._record(system, k, elapsed, elapsed * k)
+            self._record(system, k, elapsed, elapsed * k,
+                         latencies=[elapsed] * k)
         return x_block
 
     def _require_system(self, key: object) -> _System:
@@ -596,6 +644,11 @@ class SolveService:
             # defensive: registrations flush as they record, but a
             # store shared with other writers may hold pending records
             self._store.flush()
+        if self._obs is not None:
+            # persist metrics + trace so `repro obs report` works right
+            # after a service run; the snapshot is cumulative, so a
+            # repeat close() just rewrites a superset
+            self._obs.flush()
 
     @property
     def closed(self) -> bool:
@@ -654,6 +707,17 @@ class SolveService:
         if not batch:
             return
         system = batch[0].system
+        span = (
+            self._obs.span(
+                "service.batch",
+                system=str(system.key),
+                batch_size=len(batch),
+            )
+            if self._obs is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         t0 = time.perf_counter()
         try:
             if len(batch) == 1:
@@ -666,19 +730,25 @@ class SolveService:
                     for j in range(len(batch))
                 ]
         except Exception as exc:  # propagate to every waiting client
+            if span is not None:
+                span.__exit__(type(exc), exc, None)
             for request in batch:
                 request.future.set_exception(exc)
             return
         done = time.perf_counter()
+        if span is not None:
+            span.__exit__(None, None, None)
         # record stats *before* resolving the futures: a client woken by
         # result() must observe counters that include its own request
         # (latency is therefore measured to just before resolution)
+        latencies = [done - r.enqueued_at for r in batch]
         with self._cond:
             self._record(
                 system,
                 len(batch),
                 done - t0,
-                sum(done - r.enqueued_at for r in batch),
+                sum(latencies),
+                latencies=latencies,
             )
         for request, x in zip(batch, results, strict=True):
             request.future.set_result(x)
@@ -689,6 +759,8 @@ class SolveService:
         batch_size: int,
         solve_seconds: float,
         latency_seconds: float,
+        *,
+        latencies: list[float] | None = None,
     ) -> None:
         """Update one system's counters; caller holds the lock."""
         system.n_requests += batch_size
@@ -696,6 +768,11 @@ class SolveService:
         system.max_batch_size = max(system.max_batch_size, batch_size)
         system.total_solve_seconds += solve_seconds
         system.total_latency_seconds += latency_seconds
+        if system.batch_hist is not None:
+            system.batch_hist.observe(batch_size)
+            if latencies:
+                for latency in latencies:
+                    system.latency_hist.observe(latency)
 
     def __repr__(self) -> str:
         with self._cond:

@@ -46,6 +46,12 @@ class SystemStats:
     arm_seconds:
         Per-arm measured seconds from the tuning race (the online arm
         statistics; empty for explicitly scheduled systems).
+    latency_hist / batch_hist:
+        Histogram snapshots (see :mod:`repro.obs.metrics`) of
+        per-request latency and micro-batch size, populated only when
+        the ``REPRO_OBS`` gate is on — ``None`` otherwise.  They feed
+        the ``latency_p50_s``/``latency_p99_s``/``batch_p50``/
+        ``batch_p99`` properties and the matching :meth:`as_row` keys.
     backend:
         Resolved execution-backend name every batch of this system ran
         on (``"numpy"``, ``"numba"``, ``"numba-parallel"``, ...), so
@@ -78,6 +84,38 @@ class SystemStats:
     n_plan_swaps: int = 0
     arm_seconds: dict = field(default_factory=dict)
     backend: str = ""
+    latency_hist: dict | None = None
+    batch_hist: dict | None = None
+
+    @staticmethod
+    def _percentile(hist: dict | None, q: float) -> float | None:
+        if hist is None:
+            return None
+        # deferred import: only reachable when the obs subsystem built
+        # the snapshot, so the gate-off path never loads repro.obs
+        from repro.obs.metrics import snapshot_percentile
+
+        return snapshot_percentile(hist, q)
+
+    @property
+    def latency_p50_s(self) -> float | None:
+        """Median request latency (``None`` without ``REPRO_OBS``)."""
+        return self._percentile(self.latency_hist, 0.50)
+
+    @property
+    def latency_p99_s(self) -> float | None:
+        """p99 request latency (``None`` without ``REPRO_OBS``)."""
+        return self._percentile(self.latency_hist, 0.99)
+
+    @property
+    def batch_p50(self) -> float | None:
+        """Median micro-batch size (``None`` without ``REPRO_OBS``)."""
+        return self._percentile(self.batch_hist, 0.50)
+
+    @property
+    def batch_p99(self) -> float | None:
+        """p99 micro-batch size (``None`` without ``REPRO_OBS``)."""
+        return self._percentile(self.batch_hist, 0.99)
 
     @property
     def avg_batch_size(self) -> float:
@@ -103,8 +141,14 @@ class SystemStats:
         )
 
     def as_row(self) -> dict[str, object]:
-        """Plain-dict view (counters plus derived rates) for tables."""
-        return {
+        """Plain-dict view (counters plus derived rates) for tables.
+
+        Percentile columns (``latency_p50_s``, ``latency_p99_s``,
+        ``batch_p50``, ``batch_p99``) appear only when the snapshot
+        carries obs histograms, keeping gate-off rows bit-compatible
+        with earlier releases.
+        """
+        row = {
             "key": self.key,
             "n_rows": self.n_rows,
             "requests": self.n_requests,
@@ -117,3 +161,10 @@ class SystemStats:
             "plan_swaps": self.n_plan_swaps,
             "backend": self.backend,
         }
+        if self.latency_hist is not None:
+            row["latency_p50_s"] = self.latency_p50_s
+            row["latency_p99_s"] = self.latency_p99_s
+        if self.batch_hist is not None:
+            row["batch_p50"] = self.batch_p50
+            row["batch_p99"] = self.batch_p99
+        return row

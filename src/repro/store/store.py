@@ -38,10 +38,12 @@ import json
 import os
 import platform
 import re
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import ConfigurationError
+from repro.obs_gate import get_obs
 from repro.store.prune import coverage_prune
 from repro.tuner.features import MatrixFeatures
 from repro.utils.atomic import atomic_write_json, atomic_write_text
@@ -56,6 +58,15 @@ __all__ = [
     "machine_fingerprint",
     "record_key",
 ]
+
+def _obs_span(name: str, **tags: object):
+    """A ``repro.obs`` span when ``REPRO_OBS`` is on, else a no-op
+    context (yielding ``None``).  Store maintenance operations — merge,
+    prune, retrain — are traced through this so a fleet's data-plane
+    history is reconstructable from the trace."""
+    obs = get_obs()
+    return obs.span(name, **tags) if obs is not None else nullcontext()
+
 
 #: Format version of observation-store directories; bump on
 #: incompatible changes.
@@ -483,34 +494,38 @@ class ObservationStore:
         deterministic, so two merges of the same fleet produce the same
         store; re-merging an already-merged source adds nothing.
         """
-        index = self._ensure_hash_index()
-        n_sources = 0
-        records_read = 0
-        added = 0
-        duplicates = 0
-        for source in sources:
-            n_sources += 1
-            store = (
-                source
-                if isinstance(source, ObservationStore)
-                else ObservationStore(source, create=False)
+        with _obs_span("store.merge") as span:
+            index = self._ensure_hash_index()
+            n_sources = 0
+            records_read = 0
+            added = 0
+            duplicates = 0
+            for source in sources:
+                n_sources += 1
+                store = (
+                    source
+                    if isinstance(source, ObservationStore)
+                    else ObservationStore(source, create=False)
+                )
+                for record in store:
+                    records_read += 1
+                    key = record_key(record)
+                    if key in index:
+                        duplicates += 1
+                        continue
+                    index.add(key)
+                    self._append(record)
+                    added += 1
+            self.flush()
+            if span is not None:
+                span.tag(sources=n_sources, records_read=records_read,
+                         added=added, duplicates=duplicates)
+            return MergeStats(
+                sources=n_sources,
+                records_read=records_read,
+                added=added,
+                duplicates=duplicates,
             )
-            for record in store:
-                records_read += 1
-                key = record_key(record)
-                if key in index:
-                    duplicates += 1
-                    continue
-                index.add(key)
-                self._append(record)
-                added += 1
-        self.flush()
-        return MergeStats(
-            sources=n_sources,
-            records_read=records_read,
-            added=added,
-            duplicates=duplicates,
-        )
 
     def prune(self, keep: int) -> PruneStats:
         """Thin the store to at most ``keep`` records by feature-space
@@ -522,35 +537,38 @@ class ObservationStore:
         mid-prune leaves duplicates (collapsed by the next
         merge/ingest), never data loss.
         """
-        records = list(self)
-        before = len(records)
-        if before <= max(int(keep), 0):
-            return PruneStats(before=before, after=before, dropped=0)
-        kept = coverage_prune(records, keep)
-        self._writer_records = kept
-        self._hash_index = None
-        self._dirty = True
-        self.flush()
-        if self.path is not None:
-            for shard in self._shards():
-                if shard != self._writer_shard:
-                    os.unlink(os.path.join(self.path, shard))
-            # clamp the retrain watermarks to the shrunken per-regime
-            # counts, otherwise the staleness gate would stay jammed
-            # until the count re-exceeded its pre-prune level
-            meta = self._read_meta()
-            trained = meta.get("trained", {})
-            if trained:
-                counts = self._mode_counts()
-                for mode, entry in trained.items():
-                    watermark = int(entry.get("n_observations", 0))
-                    entry["n_observations"] = min(
-                        watermark, counts.get(mode, 0)
-                    )
-                self._write_meta(meta)
-        return PruneStats(
-            before=before, after=len(kept), dropped=before - len(kept)
-        )
+        with _obs_span("store.prune", keep=int(keep)) as span:
+            records = list(self)
+            before = len(records)
+            if before <= max(int(keep), 0):
+                return PruneStats(before=before, after=before, dropped=0)
+            kept = coverage_prune(records, keep)
+            self._writer_records = kept
+            self._hash_index = None
+            self._dirty = True
+            self.flush()
+            if self.path is not None:
+                for shard in self._shards():
+                    if shard != self._writer_shard:
+                        os.unlink(os.path.join(self.path, shard))
+                # clamp the retrain watermarks to the shrunken per-regime
+                # counts, otherwise the staleness gate would stay jammed
+                # until the count re-exceeded its pre-prune level
+                meta = self._read_meta()
+                trained = meta.get("trained", {})
+                if trained:
+                    counts = self._mode_counts()
+                    for mode, entry in trained.items():
+                        watermark = int(entry.get("n_observations", 0))
+                        entry["n_observations"] = min(
+                            watermark, counts.get(mode, 0)
+                        )
+                    self._write_meta(meta)
+            if span is not None:
+                span.tag(before=before, after=len(kept))
+            return PruneStats(
+                before=before, after=len(kept), dropped=before - len(kept)
+            )
 
     # ------------------------------------------------------------------
     # stats
@@ -683,28 +701,35 @@ class ObservationStore:
         """
         from repro.tuner.learn import LearnedTunerModel, save_model
 
-        # one scan resolves the regime, the staleness check and the
-        # watermark count together; the fit below is the second (and
-        # last) pass over the records
-        counts = self._mode_counts()
-        mode = self._resolve_mode(mode, counts)
-        if mode is None:
-            return None
-        if not force and not self._is_stale(mode, counts[mode], min_new):
-            return None
-        model = LearnedTunerModel.fit(self, mode=mode, **fit_options)
-        if len(model) > 0:
-            # the watermark only advances when the fit actually learned
-            # something: an empty fit (too few records per variant)
-            # keeps the regime stale so accumulating data retriggers
-            meta = self._read_meta()
-            meta.setdefault("trained", {})[mode] = {
-                "n_observations": counts[mode],
-            }
-            self._write_meta(meta)
-        if model_path is not None:
-            save_model(model, model_path)
-        return model
+        with _obs_span("store.retrain", force=bool(force)) as span:
+            # one scan resolves the regime, the staleness check and the
+            # watermark count together; the fit below is the second (and
+            # last) pass over the records
+            counts = self._mode_counts()
+            mode = self._resolve_mode(mode, counts)
+            if mode is None:
+                return None
+            if not force and not self._is_stale(
+                mode, counts[mode], min_new
+            ):
+                return None
+            model = LearnedTunerModel.fit(self, mode=mode, **fit_options)
+            if span is not None:
+                span.tag(mode=mode, n_observations=counts[mode],
+                         fitted=len(model) > 0)
+            if len(model) > 0:
+                # the watermark only advances when the fit actually
+                # learned something: an empty fit (too few records per
+                # variant) keeps the regime stale so accumulating data
+                # retriggers
+                meta = self._read_meta()
+                meta.setdefault("trained", {})[mode] = {
+                    "n_observations": counts[mode],
+                }
+                self._write_meta(meta)
+            if model_path is not None:
+                save_model(model, model_path)
+            return model
 
     def __repr__(self) -> str:
         where = self.path if self.path is not None else "<memory>"

@@ -37,6 +37,7 @@ import math
 import os
 import statistics
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -52,6 +53,7 @@ from repro.experiments.runner import (
 from repro.graph.dag import DAG
 from repro.machine.model import MachineModel, get_machine
 from repro.matrix.csr import CSRMatrix
+from repro.obs_gate import get_obs
 from repro.scheduler.base import Scheduler
 from repro.scheduler.registry import make_scheduler
 from repro.scheduler.schedule import Schedule
@@ -486,12 +488,34 @@ class Autotuner:
         measure = self._make_measure(
             inst, machine, cores, reorder, cache, finalists
         )
-        race = successive_halving(
-            [s.name for s in finalists], measure,
-            budget_seconds=self.budget_seconds,
-            base_repeats=self.base_repeats,
-            handicap=handicap,
-        )
+        obs = get_obs()
+        if obs is not None:
+            # one span per arm measurement plus one around the whole
+            # race, so a flushed trace reconstructs which arms ran, in
+            # what order, and how long each micro-run took
+            inner_measure = measure
+
+            def measure(name, repeats, round_index):
+                with obs.span(
+                    "tuner.race_arm", arm=name, instance=inst.name,
+                    repeats=repeats, round=round_index,
+                ):
+                    return inner_measure(name, repeats, round_index)
+
+            obs.get_registry().counter("tuner.races").inc()
+            race_span = obs.span(
+                "tuner.race", instance=inst.name,
+                n_arms=len(finalists), mode=self.mode,
+            )
+        else:
+            race_span = nullcontext()
+        with race_span:
+            race = successive_halving(
+                [s.name for s in finalists], measure,
+                budget_seconds=self.budget_seconds,
+                base_repeats=self.base_repeats,
+                handicap=handicap,
+            )
         self.races_run += 1
         self.last_race = race
 

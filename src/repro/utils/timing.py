@@ -9,11 +9,18 @@ from __future__ import annotations
 
 import time
 
+from repro.errors import ReproError
+
 __all__ = ["Timer"]
 
 
 class Timer:
     """Context manager measuring elapsed wall-clock seconds.
+
+    Re-entering (or restarting via :meth:`start`) resets the recorded
+    value, and reading :attr:`elapsed` before the first exit/:meth:`stop`
+    raises :class:`~repro.errors.ReproError` — a silently stale or zero
+    reading would poison the measured amortization numbers downstream.
 
     Examples
     --------
@@ -25,24 +32,42 @@ class Timer:
 
     def __init__(self) -> None:
         self._start: float | None = None
-        self.elapsed: float = 0.0
+        self._elapsed: float | None = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds of the most recent completed measurement."""
+        if self._elapsed is None:
+            raise ReproError(
+                "Timer.elapsed read before the timer was stopped; "
+                "exit the 'with' block (or call stop()) first"
+            )
+        return self._elapsed
 
     def __enter__(self) -> "Timer":
+        # re-entry starts a fresh measurement: the previous elapsed
+        # value is discarded, never silently returned for the new run
+        self._elapsed = None
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        assert self._start is not None  # repro: allow[no-bare-assert]
-        self.elapsed = time.perf_counter() - self._start
+        if self._start is None:
+            raise ReproError(
+                "Timer context exited without a running measurement"
+            )
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
 
     def start(self) -> None:
-        """Start (or restart) the timer."""
+        """Start (or restart) the timer, discarding any prior reading."""
+        self._elapsed = None
         self._start = time.perf_counter()
 
     def stop(self) -> float:
         """Stop the timer, record and return the elapsed time."""
         if self._start is None:
-            raise RuntimeError("Timer.stop() called before start()")
-        self.elapsed = time.perf_counter() - self._start
+            raise ReproError("Timer.stop() called before start()")
+        self._elapsed = time.perf_counter() - self._start
         self._start = None
-        return self.elapsed
+        return self._elapsed

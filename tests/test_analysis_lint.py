@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 
 RULE_IDS = {
     "unseeded-rng", "wallclock-timing", "atomic-write",
-    "no-bare-assert", "lock-discipline",
+    "no-bare-assert", "lock-discipline", "direct-timing-in-hot-path",
 }
 
 
@@ -145,7 +145,8 @@ class TestWallclockTiming:
     def test_whitelisted_paths_are_exempt(self, tmp_path):
         code = "import time\nt = time.time()\n"
         for rel in ("utils/timing.py", "tuner/race.py",
-                    "experiments/bench.py", "repro/service/worker.py"):
+                    "experiments/bench.py", "repro/service/worker.py",
+                    "repro/obs/trace.py"):
             target = tmp_path / rel
             target.parent.mkdir(parents=True, exist_ok=True)
             target.write_text(code)
@@ -156,6 +157,41 @@ class TestWallclockTiming:
             import time
             time.sleep(0)
             """) == []
+
+
+class TestDirectTimingInHotPath:
+    def test_flags_clock_in_exec(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            t = time.perf_counter()
+            """, name="repro/exec/fastpath.py")
+        assert "direct-timing-in-hot-path" in rules_fired(findings)
+
+    def test_flags_timer_construction_in_exec(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from repro.utils.timing import Timer
+            with Timer() as t:
+                pass
+            """, name="repro/exec/fastpath.py")
+        assert rules_fired(findings) == {"direct-timing-in-hot-path"}
+
+    def test_obs_facade_clock_is_clean(self, tmp_path):
+        assert lint_snippet(tmp_path, """\
+            from repro.obs_gate import get_obs
+
+            def measure():
+                obs = get_obs()
+                if obs is not None:
+                    return obs.clock()
+                return None
+            """, name="repro/exec/fastpath.py") == []
+
+    def test_ignores_paths_outside_exec(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            t = time.monotonic()
+            """, name="repro/scheduler/slowpath.py")
+        assert rules_fired(findings) == {"wallclock-timing"}
 
 
 class TestAtomicWrite:

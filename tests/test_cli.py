@@ -462,7 +462,7 @@ def test_check_source_json_payload(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["ok"] is True
     assert payload["n_findings"] == 0
-    assert len(payload["rules"]) == 5
+    assert len(payload["rules"]) == 6
 
 
 def test_check_source_seeded_violation_nonzero(tmp_path, capsys):

@@ -1,0 +1,244 @@
+"""Tests for the observability metrics core (:mod:`repro.obs.metrics`).
+
+Three contracts carry the subsystem:
+
+* **Concurrency** — counters and histograms take no lock on the hot
+  path (per-thread cells), yet a snapshot taken *while* writers hammer
+  them never tears, and once the writers join the totals are exact.
+* **Mergeability** — histograms use fixed log-spaced buckets, so
+  merging two shards' snapshots is commutative and bit-identical (at
+  the bucket level) to one registry observing the union.
+* **Bounded percentiles** — the midpoint estimator's relative error vs
+  an exact sort is bounded by half a bucket ratio
+  (``10**(1/(2*per_decade)) - 1``), the figure documented in
+  ``docs/observability.md``.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_PER_DECADE,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    metric_key,
+    snapshot_percentile,
+)
+
+
+class TestMetricKey:
+    def test_bare_name_when_unlabelled(self):
+        assert metric_key("a.b", {}) == "a.b"
+
+    def test_labels_sorted(self):
+        key = metric_key("m", {"z": "1", "a": "2"})
+        assert key == "m{a=2,z=1}"
+
+
+class TestRegistry:
+    def test_counter_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", sys="x") is reg.counter("c", sys="x")
+        assert reg.counter("c", sys="x") is not reg.counter("c", sys="y")
+
+    def test_histogram_spec_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", lo=1e-6, hi=1e2)
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h", lo=1e-3, hi=1e2)
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7.5)
+        reg.histogram("h").observe(0.01)
+        snap = reg.snapshot()
+        assert snap["schema"] == 1
+        assert snap["counters"]["c"]["value"] == 2
+        assert snap["gauges"]["g"]["value"] == 7.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_len_and_repr(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        assert len(reg) == 3
+        assert "counters=1" in repr(reg)
+
+
+class TestConcurrency:
+    def test_hammered_counters_are_exact(self):
+        """N threads increment while a reader snapshots concurrently:
+        no snapshot tears (value is a valid partial sum) and the final
+        total is exact — no increment is lost to a race."""
+        reg = MetricsRegistry()
+        counter = reg.counter("hammer.count")
+        hist = reg.histogram("hammer.lat")
+        n_threads, per_thread = 8, 5_000
+        barrier = threading.Barrier(n_threads + 1)
+        stop = threading.Event()
+        torn: list[float] = []
+
+        def writer():
+            barrier.wait()
+            for i in range(per_thread):
+                counter.inc()
+                hist.observe(1e-4 * (1 + (i % 7)))
+
+        def reader():
+            barrier.wait()
+            while not stop.is_set():
+                snap = reg.snapshot()
+                value = snap["counters"]["hammer.count"]["value"]
+                count = snap["histograms"]["hammer.lat"]["count"]
+                bucket_sum = sum(
+                    snap["histograms"]["hammer.lat"]["counts"].values()
+                )
+                # a torn read would show an impossible partial state
+                if not (0 <= value <= n_threads * per_thread):
+                    torn.append(value)
+                if bucket_sum > n_threads * per_thread:
+                    torn.append(bucket_sum)
+                _ = count
+
+        threads = [threading.Thread(target=writer)
+                   for _ in range(n_threads)]
+        observer = threading.Thread(target=reader)
+        for t in threads:
+            t.start()
+        observer.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        observer.join()
+
+        assert torn == []
+        assert counter.value == n_threads * per_thread
+        assert hist.count == n_threads * per_thread
+        snap = reg.snapshot()
+        assert sum(
+            snap["histograms"]["hammer.lat"]["counts"].values()
+        ) == n_threads * per_thread
+
+
+class TestHistogramMerge:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.lists(st.floats(min_value=1e-6, max_value=1e3),
+                   max_size=40),
+        b=st.lists(st.floats(min_value=1e-6, max_value=1e3),
+                   max_size=40),
+    )
+    def test_merge_is_commutative(self, a, b):
+        ra, rb = MetricsRegistry(), MetricsRegistry()
+        ra.counter("c").inc(len(a))
+        rb.counter("c").inc(len(b))
+        for v in a:
+            ra.histogram("h").observe(v)
+        for v in b:
+            rb.histogram("h").observe(v)
+        ab = merge_snapshots(ra.snapshot(), rb.snapshot())
+        ba = merge_snapshots(rb.snapshot(), ra.snapshot())
+        assert ab["histograms"] == ba["histograms"]
+        assert ab["counters"] == ba["counters"]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.lists(st.floats(min_value=1e-6, max_value=1e3),
+                   max_size=40),
+        b=st.lists(st.floats(min_value=1e-6, max_value=1e3),
+                   max_size=40),
+    )
+    def test_merged_buckets_equal_combined_registry(self, a, b):
+        """merge(shard_a, shard_b) is bit-identical at the bucket level
+        to one registry that observed the union — the property that
+        makes sharded suite percentiles trustworthy."""
+        ra, rb, combined = (MetricsRegistry(), MetricsRegistry(),
+                            MetricsRegistry())
+        for reg in (ra, rb, combined):
+            reg.histogram("h")
+        for v in a:
+            ra.histogram("h").observe(v)
+            combined.histogram("h").observe(v)
+        for v in b:
+            rb.histogram("h").observe(v)
+            combined.histogram("h").observe(v)
+        merged = merge_snapshots(ra.snapshot(), rb.snapshot())
+        mh = merged["histograms"]["h"]
+        ch = combined.snapshot()["histograms"]["h"]
+        assert mh["counts"] == ch["counts"]
+        assert mh["count"] == ch["count"]
+        assert mh["min"] == ch["min"]
+        assert mh["max"] == ch["max"]
+        if mh["count"]:
+            assert math.isclose(mh["sum"], ch["sum"], rel_tol=1e-12)
+
+    def test_merge_spec_mismatch_raises(self):
+        ra, rb = MetricsRegistry(), MetricsRegistry()
+        ra.histogram("h", per_decade=16).observe(0.1)
+        rb.histogram("h", per_decade=8).observe(0.1)
+        with pytest.raises(ConfigurationError):
+            merge_snapshots(ra.snapshot(), rb.snapshot())
+
+
+class TestPercentileBounds:
+    #: Midpoint estimator bound: half a bucket ratio.
+    _REL_BOUND = 10 ** (1 / (2 * DEFAULT_PER_DECADE)) - 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e3),
+            min_size=1, max_size=200,
+        ),
+        q=st.sampled_from([0.5, 0.9, 0.95, 0.99]),
+    )
+    def test_percentile_error_vs_exact_sort(self, values, q):
+        h = Histogram("h", {})
+        for v in values:
+            h.observe(v)
+        approx = h.percentile(q)
+        exact = float(np.quantile(np.asarray(values), q,
+                                  method="inverted_cdf"))
+        assert approx is not None
+        # the order statistic lies inside the reported bucket, so the
+        # midpoint is off by at most half a bucket ratio (plus epsilon
+        # for the edge-index arithmetic)
+        assert approx == pytest.approx(
+            exact, rel=self._REL_BOUND + 1e-9
+        )
+
+    def test_empty_histogram_percentile_is_none(self):
+        assert Histogram("h", {}).percentile(0.5) is None
+
+    def test_underflow_and_overflow_reporting(self):
+        h = Histogram("h", {}, lo=1e-3, hi=1e0)
+        h.observe(1e-9)
+        assert h.percentile(0.5) == h.lo
+        h2 = Histogram("h2", {}, lo=1e-3, hi=1e0)
+        h2.observe(50.0)
+        # overflow reports the tracked max, not the hi edge
+        assert h2.percentile(0.99) == 50.0
+
+    def test_quantile_out_of_range_raises(self):
+        h = Histogram("h", {})
+        h.observe(0.1)
+        with pytest.raises(ConfigurationError):
+            h.percentile(1.5)
+
+    def test_snapshot_percentile_roundtrips_through_json(self):
+        import json
+
+        h = Histogram("h", {})
+        for v in (0.001, 0.002, 0.004, 0.008):
+            h.observe(v)
+        snap = json.loads(json.dumps(h._snapshot()))
+        assert snapshot_percentile(snap, 0.5) == h.percentile(0.5)

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.metrics import (
     amortization_threshold,
     barrier_reduction,
@@ -115,5 +115,5 @@ class TestTimer:
         t.start()
         elapsed = t.stop()
         assert elapsed >= 0.0
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ReproError):
             t.stop()

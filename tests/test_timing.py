@@ -1,0 +1,76 @@
+"""Regression tests for :class:`repro.utils.timing.Timer`.
+
+Pins the lifecycle bugfix: re-entering a ``Timer`` resets the recorded
+value (no stale reading can leak into a new measurement), and reading
+``elapsed`` before the first exit/``stop()`` raises
+:class:`~repro.errors.ReproError` instead of silently returning zero —
+a stale or zero reading would poison the amortization numbers the
+schedulers report.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.utils.timing import Timer
+
+
+class TestTimerLifecycle:
+    def test_elapsed_before_exit_raises(self):
+        t = Timer()
+        with pytest.raises(ReproError):
+            t.elapsed
+        with t:
+            # still mid-measurement: nothing has been recorded yet
+            with pytest.raises(ReproError):
+                t.elapsed
+        assert t.elapsed >= 0.0
+
+    def test_reentry_resets_recorded_value(self):
+        t = Timer()
+        with t:
+            sum(range(1000))
+        first = t.elapsed
+        assert first >= 0.0
+        with t:
+            # the previous reading must be discarded on re-entry, never
+            # silently served for the in-flight measurement
+            with pytest.raises(ReproError):
+                t.elapsed
+        assert t.elapsed >= 0.0
+
+    def test_start_resets_recorded_value(self):
+        t = Timer()
+        t.start()
+        t.stop()
+        t.start()
+        with pytest.raises(ReproError):
+            t.elapsed
+        assert t.stop() >= 0.0
+
+    def test_stop_before_start_raises(self):
+        t = Timer()
+        with pytest.raises(ReproError):
+            t.stop()
+        t.start()
+        t.stop()
+        # double-stop is the same defect as stop-before-start
+        with pytest.raises(ReproError):
+            t.stop()
+
+    def test_exit_without_enter_raises(self):
+        t = Timer()
+        with pytest.raises(ReproError):
+            t.__exit__(None, None, None)
+
+    def test_stop_returns_same_value_as_elapsed(self):
+        t = Timer()
+        t.start()
+        returned = t.stop()
+        assert returned == t.elapsed
+
+    def test_exception_inside_block_still_records(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t:
+                raise ValueError("boom")
+        assert t.elapsed >= 0.0

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Render a telemetry report from a ``REPRO_OBS`` capture directory.
+
+Thin operational wrapper over the ``repro obs`` CLI verbs (see
+``docs/observability.md``): point it at a directory containing
+``metrics.json`` / ``trace.jsonl`` — written by ``repro suite/bench
+--obs-dir`` or by any process run with ``REPRO_OBS=1`` — and it prints
+the per-system latency/batch percentile report, optionally as JSON or
+as a Prometheus text-format export.
+
+Usage::
+
+    PYTHONPATH=src python tools/obs_report.py [--dir DIR] [--json]
+    PYTHONPATH=src python tools/obs_report.py --export [--output FILE]
+    PYTHONPATH=src python tools/obs_report.py --tail [-n N]
+
+No third-party dependencies; reading a capture never requires the
+``REPRO_OBS`` gate to be on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main as repro_main  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir", default=None,
+        help="capture directory (default: $REPRO_OBS_DIR or .repro-obs)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output instead of the table",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--export", action="store_true",
+        help="Prometheus text format instead of the report",
+    )
+    mode.add_argument(
+        "--tail", action="store_true",
+        help="most recent trace spans instead of the report",
+    )
+    parser.add_argument(
+        "-n", "--count", type=int, default=20,
+        help="spans to show with --tail (default: 20)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="with --export: write the text to FILE instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.export:
+        cli_args = ["obs", "export"]
+        if args.output:
+            cli_args += ["--output", args.output]
+    elif args.tail:
+        cli_args = ["obs", "tail", "--count", str(args.count)]
+    else:
+        cli_args = ["obs", "report"]
+    if args.dir:
+        cli_args += ["--dir", args.dir]
+    if args.json and not args.export:
+        cli_args.append("--json")
+    if args.json and args.export and not args.output:
+        cli_args.append("--json")
+    return repro_main(cli_args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
