@@ -1,0 +1,89 @@
+"""Plan-artifact store benchmarks: zero-cost cold start.
+
+The :class:`~repro.store.PlanStore` exists so a process that has never
+seen a matrix before can skip :func:`~repro.exec.compile_plan` entirely
+and deserialize a verified :class:`~repro.exec.ExecutionPlan` from disk:
+
+* a warm **load-and-verify** (sidecar parse + content hash + the full
+  :func:`~repro.analysis.verify.check_plan` gate) must beat the cold
+  compile on a compile-dominated corpus, with **zero** compiles during
+  the warm loads;
+* a **second interpreter** sharing the same ``REPRO_PLAN_STORE_DIR``
+  must serve every plan from disk — ``compile_count() == 0`` and every
+  plan's provenance is ``"store"`` — which is the contract the CI
+  plan-store smoke step asserts.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the corpus so the assertions can run on
+every CI push.
+"""
+
+import os
+
+from repro.experiments.bench import (
+    bench_plan_store,
+    plan_store_warm_start_check,
+)
+from repro.experiments.tables import format_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Verified loads pay hashing + check_plan, so the floor is deliberately
+#: conservative; the compile-dominated deep-narrow shape keeps the
+#: aggregate well above it (~6x in smoke, higher at full size).
+SPEEDUP_FLOOR = 2.0
+
+
+def test_warm_load_beats_cold_compile():
+    payload = bench_plan_store(smoke=SMOKE)
+
+    print()
+    print(format_table(
+        ["shape", "n", "cold compile s", "warm load s"],
+        [
+            [name, str(shape["n"]), f"{shape['cold']:.4f}",
+             f"{shape['warm']:.4f}"]
+            for name, shape in payload["shapes"].items()
+        ],
+        title=f"plan store: cold compile vs verified load "
+              f"(speedup {payload['speedup']:.1f}x, "
+              f"{payload['n_artifacts']} artifacts, "
+              f"{payload['total_bytes']} bytes)",
+    ))
+
+    assert payload["warm_compiles"] == 0, (
+        "a warm store load triggered a plan compile"
+    )
+    assert payload["seconds"]["warm_load"] > 0
+    assert payload["speedup"] >= SPEEDUP_FLOOR, (
+        f"verified load only {payload['speedup']:.2f}x faster than "
+        f"recompiling (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_second_process_starts_warm_zero_compiles():
+    report = plan_store_warm_start_check()
+
+    first, second = report["first_process"], report["second_process"]
+    print()
+    print(format_table(
+        ["process", "compiles", "plan sources"],
+        [
+            ["first (cold store)", str(first["compiles"]),
+             ",".join(first["sources"])],
+            ["second (warm store)", str(second["compiles"]),
+             ",".join(second["sources"])],
+        ],
+        title="two-process cold start through REPRO_PLAN_STORE_DIR",
+    ))
+
+    assert first["compiles"] == len(first["sources"]), (
+        "first process should compile every plan exactly once"
+    )
+    assert all(source == "compiled" for source in first["sources"])
+    assert report["warm_zero_compiles"], (
+        f"second process compiled {second['compiles']} plans instead "
+        f"of loading them"
+    )
+    assert report["warm_all_from_store"], (
+        f"second process plan sources were {second['sources']}"
+    )

@@ -23,6 +23,9 @@ Exposes the library's main workflows without writing Python::
     python -m repro store     prune --store fleet.store --keep 5000
     python -m repro store     retrain --store fleet.store \
                               --model model.json
+    python -m repro plans     save --store plans.store --matrix L.mtx \
+                              --scheduler growlocal --cores 8
+    python -m repro plans     verify --store plans.store --json
     python -m repro generate  --kind erdos_renyi --n 10000 --p 5e-4 \
                               --output L.mtx
     python -m repro datasets  --name suitesparse
@@ -31,9 +34,14 @@ Exposes the library's main workflows without writing Python::
     python -m repro obs       tail --dir .repro-obs -n 20
     python -m repro obs       export --dir .repro-obs
 
-``compare``, ``suite``, ``tune`` and every ``store`` verb accept
-``--json`` for machine-readable output (consumed by CI smoke checks
-and scripting instead of scraping the tables).  Training observations
+``compare``, ``suite``, ``tune`` and every ``store``/``plans`` verb
+accept ``--json`` for machine-readable output (consumed by CI smoke
+checks and scripting instead of scraping the tables).  The ``plans``
+verbs manage the persisted-plan disk tier
+(:mod:`repro.store.plan_store`, ``REPRO_PLAN_STORE_DIR``): ``save``
+compiles and persists an artifact, ``load`` runs the full integrity
+gate, ``verify`` audits a whole store, ``gc`` enforces the LRU byte
+budget (``docs/plan_store.md``).  Training observations
 flow into a fleet-wide observation store (``tune --store DIR``, or the
 profile's ``<path>.store`` sidecar by default); ``tune --train`` fits
 the learned prior from it, ``tune --model`` ranks with the fit, and
@@ -280,6 +288,87 @@ def build_parser() -> argparse.ArgumentParser:
                     help="machine-readable JSON instead of a summary "
                          "line")
 
+    p = sub.add_parser(
+        "plans",
+        help="persisted execution plans: save, load, ls, gc, verify "
+             "(the PlanStore disk tier)",
+    )
+    plans_sub = p.add_subparsers(dest="plans_command", required=True)
+
+    def _plans_system_args(pp) -> None:
+        pp.add_argument("--matrix", required=True,
+                        help="Matrix Market file (lower triangle is "
+                             "used)")
+        pp.add_argument("--schedule", default=None,
+                        help="schedule JSON (default: the serial plan)")
+        pp.add_argument("--scheduler", default=None,
+                        choices=available_schedulers(),
+                        help="compute the schedule with this scheduler "
+                             "instead of loading --schedule")
+        pp.add_argument("--cores", type=int, default=8,
+                        help="cores for --scheduler (default 8)")
+        pp.add_argument("--fuse-threshold", type=int, default=None,
+                        help="fusion threshold for the plan key/compile "
+                             "(default: REPRO_FUSE_THRESHOLD or the "
+                             "library default)")
+
+    pp = plans_sub.add_parser(
+        "save",
+        help="compile a plan and persist it as a store artifact "
+             "(first writer wins; already-present keys are a no-op)",
+    )
+    pp.add_argument("--store", required=True,
+                    help="plan-store directory (created if missing)")
+    _plans_system_args(pp)
+    pp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of a summary "
+                         "line")
+
+    pp = plans_sub.add_parser(
+        "load",
+        help="load a persisted plan through the full integrity gate "
+             "(exit 0 on a verified hit, 1 on miss/rejection)",
+    )
+    pp.add_argument("--store", required=True,
+                    help="plan-store directory")
+    _plans_system_args(pp)
+    pp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of a summary "
+                         "line")
+
+    pp = plans_sub.add_parser(
+        "ls", help="list the store's artifacts (key, size, toolchain)"
+    )
+    pp.add_argument("--store", required=True,
+                    help="plan-store directory")
+    pp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of a table")
+
+    pp = plans_sub.add_parser(
+        "gc",
+        help="evict least-recently-used artifacts beyond the byte "
+             "budget and clear leftover writer locks",
+    )
+    pp.add_argument("--store", required=True,
+                    help="plan-store directory")
+    pp.add_argument("--max-bytes", type=int, default=None,
+                    help="byte budget (default: the store's "
+                         "REPRO_PLAN_STORE_MAX_BYTES bound)")
+    pp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of a summary "
+                         "line")
+
+    pp = plans_sub.add_parser(
+        "verify",
+        help="run the full load gate over every artifact; exit 1 when "
+             "any artifact is flagged",
+    )
+    pp.add_argument("--store", required=True,
+                    help="plan-store directory")
+    pp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON report (what CI "
+                         "archives)")
+
     p = sub.add_parser("generate", help="generate a test matrix")
     p.add_argument("--kind", required=True,
                    choices=["erdos_renyi", "narrow_band", "grid2d",
@@ -300,13 +389,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the micro-benchmark suites (per-backend perf floors)",
     )
     p.add_argument("--suite", default="exec",
-                   choices=["exec", "service", "tuner", "all"],
+                   choices=["exec", "service", "tuner", "plan_store",
+                            "all"],
                    help="which micro-benchmark suite to run")
     p.add_argument("--smoke", action="store_true",
                    help="shrunk instances (CI-sized; floors stay on)")
     p.add_argument("--report", action="store_true",
-                   help="also run the persistent-JIT warm-start check "
-                        "(second process must perform zero compiles)")
+                   help="also run the warm-start checks (persistent "
+                        "JIT, and the plan store when its suite is "
+                        "selected): the second process must perform "
+                        "zero compiles")
     p.add_argument("--output", default=None,
                    help="write BENCH_<suite>.json files into this "
                         "directory")
@@ -889,6 +981,148 @@ def _cmd_store(args) -> int:
     )
 
 
+def _plans_system(args):
+    """The (lower matrix, schedule, scheduler label) a ``plans`` verb
+    operates on: an explicit schedule JSON, a named scheduler run at
+    ``--cores``, or the serial plan."""
+    from repro.errors import ConfigurationError
+
+    if args.schedule and args.scheduler:
+        raise ConfigurationError(
+            "--schedule and --scheduler are mutually exclusive"
+        )
+    lower = _load_lower(args.matrix)
+    schedule = None
+    label = None
+    if args.schedule:
+        schedule = load_schedule_json(args.schedule)
+    elif args.scheduler:
+        dag = DAG.from_lower_triangular(lower)
+        schedule = make_scheduler(args.scheduler).schedule(dag, args.cores)
+        label = args.scheduler
+    return lower, schedule, label
+
+
+def _cmd_plans(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.store import PlanStore, plan_store_key
+
+    if args.plans_command == "save":
+        from repro.exec import compile_plan
+
+        lower, schedule, label = _plans_system(args)
+        store = PlanStore(args.store)
+        key = plan_store_key(
+            lower, schedule, scheduler=label,
+            fuse_threshold=args.fuse_threshold,
+        )
+        plan = compile_plan(
+            lower, schedule, fuse_threshold=args.fuse_threshold,
+            check_diagonal=False,
+        )
+        path = store.save(plan, key)
+        payload = {
+            "store": store.path,
+            "key": key.as_dict(),
+            "stem": key.stem(),
+            "saved": path is not None,
+            "artifact": path,
+            "n": plan.n,
+        }
+        if args.json:
+            print(json.dumps(_json_sanitize(payload), indent=2))
+        elif path is None:
+            print(f"plan {key.stem()} already persisted in {store.path}")
+        else:
+            print(f"saved plan {key.stem()} (n={plan.n}) to {path}")
+        return 0
+
+    if args.plans_command == "load":
+        lower, schedule, label = _plans_system(args)
+        store = PlanStore(args.store, create=False)
+        key = plan_store_key(
+            lower, schedule, scheduler=label,
+            fuse_threshold=args.fuse_threshold,
+        )
+        plan = store.get(key, matrix=lower, schedule=schedule)
+        payload = {
+            "store": store.path,
+            "key": key.as_dict(),
+            "stem": key.stem(),
+            "hit": plan is not None,
+            "rejected": store.rejects > 0,
+            "reject_reason": store.last_reject,
+            "n": plan.n if plan is not None else None,
+            "provenance": plan.provenance if plan is not None else None,
+        }
+        if args.json:
+            print(json.dumps(_json_sanitize(payload), indent=2))
+        elif plan is not None:
+            print(f"loaded plan {key.stem()} (n={plan.n}, verified) "
+                  f"from {store.path}")
+        elif store.last_reject:
+            print(f"plan {key.stem()} rejected: {store.last_reject}")
+        else:
+            print(f"no plan artifact {key.stem()} in {store.path}")
+        return 0 if plan is not None else 1
+
+    if args.plans_command == "ls":
+        store = PlanStore(args.store, create=False)
+        rows = store.ls()
+        if args.json:
+            print(json.dumps(_json_sanitize(
+                {"store": store.path, "artifacts": rows}
+            ), indent=2))
+            return 0
+        from repro.experiments.tables import format_table
+
+        print(format_table(
+            ["stem", "n", "cores", "fuse", "dtype", "bytes"],
+            [
+                [
+                    row["stem"], row["n"],
+                    (row["key"] or {}).get("cores", "-"),
+                    (row["key"] or {}).get("fuse_threshold", "-"),
+                    (row["key"] or {}).get("dtype", "-"),
+                    row["bytes"],
+                ]
+                for row in rows
+            ],
+            title=f"plan store: {store.path} ({len(rows)} artifact(s))",
+        ))
+        return 0
+
+    if args.plans_command == "gc":
+        store = PlanStore(args.store, create=False)
+        result = store.gc(args.max_bytes)
+        if args.json:
+            print(json.dumps(_json_sanitize(result), indent=2))
+        else:
+            print(f"gc {store.path}: {result['bytes_before']} -> "
+                  f"{result['bytes_after']} byte(s), "
+                  f"{len(result['removed'])} artifact(s) evicted")
+        return 0
+
+    if args.plans_command == "verify":
+        store = PlanStore(args.store, create=False)
+        report = store.verify()
+        if args.json:
+            print(json.dumps(_json_sanitize(report), indent=2))
+        else:
+            for verdict in report["artifacts"]:
+                status = ("ok" if verdict["ok"]
+                          else f"BAD ({verdict['error_type']}: "
+                               f"{verdict['error']})")
+                print(f"{verdict['stem']}: {status}")
+            print(f"{report['n_artifacts']} artifact(s), "
+                  f"{report['n_bad']} flagged")
+        return 0 if report["ok"] else 1
+
+    raise ConfigurationError(
+        f"unknown plans command {args.plans_command!r}"
+    )
+
+
 def _cmd_generate(args) -> int:
     from repro.matrix.generators import (
         erdos_renyi_lower,
@@ -947,6 +1181,7 @@ def _cmd_bench(args) -> int:
         "exec": bench_lib.bench_exec,
         "service": bench_lib.bench_service,
         "tuner": bench_lib.bench_tuner,
+        "plan_store": bench_lib.bench_plan_store,
     }
     suites = tuple(runners) if args.suite == "all" else (args.suite,)
     with _obs_dir_scope(args.obs_dir):
@@ -955,9 +1190,13 @@ def _cmd_bench(args) -> int:
         }
 
         warm = None
+        plan_warm = None
         if args.report:
             warm = bench_lib.warm_start_check()
             results["warm_start"] = warm
+            if "plan_store" in suites:
+                plan_warm = bench_lib.plan_store_warm_start_check()
+                results["plan_store_warm_start"] = plan_warm
 
     # run provenance: one meta block per payload, so a BENCH_*.json is
     # attributable to a machine/toolchain/commit across the trajectory
@@ -1004,6 +1243,9 @@ def _cmd_bench(args) -> int:
         if warm is not None:
             for key, value in warm.items():
                 print(f"warm_start.{key}: {value}")
+        if plan_warm is not None:
+            for key, value in plan_warm.items():
+                print(f"plan_store_warm_start.{key}: {value}")
 
     if warm is not None and not warm.get("skipped"):
         if not warm.get("warm_zero_compiles"):
@@ -1011,6 +1253,16 @@ def _cmd_bench(args) -> int:
                 "error: persistent-JIT warm-start check failed: the "
                 "second process recompiled "
                 f"{warm['second_process']['compiles']} signature(s)",
+                file=sys.stderr,
+            )
+            return 3
+    if plan_warm is not None and not plan_warm.get("skipped"):
+        if not plan_warm.get("warm_zero_compiles"):
+            print(
+                "error: plan-store warm-start check failed: the second "
+                "process compiled "
+                f"{plan_warm['second_process']['compiles']} plan(s) "
+                "instead of loading them",
                 file=sys.stderr,
             )
             return 3
@@ -1181,6 +1433,7 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "tune": _cmd_tune,
     "store": _cmd_store,
+    "plans": _cmd_plans,
     "generate": _cmd_generate,
     "datasets": _cmd_datasets,
     "machines": _cmd_machines,

@@ -58,6 +58,39 @@ class PlanVerificationError(ReproError):
         )
 
 
+class PlanArtifactError(ReproError):
+    """A persisted :class:`~repro.exec.plan.ExecutionPlan` artifact
+    (:mod:`repro.store.plan_store`) cannot be loaded.
+
+    Base class of every load-rejection mode; callers that treat the
+    plan store as a cache catch this (plus
+    :class:`PlanVerificationError` from the mandatory post-load
+    ``check_plan`` gate) and fall back to compiling — a rejected
+    artifact is never served."""
+
+
+class PlanArtifactMissingError(PlanArtifactError):
+    """No artifact exists under the requested plan key (a cache miss,
+    surfaced as an error only by the explicit ``load`` API)."""
+
+
+class PlanArtifactCorruptError(PlanArtifactError):
+    """The artifact's bytes are damaged: a torn or truncated sidecar,
+    an unreadable/truncated npz payload, a missing array field, or a
+    content-hash mismatch (flipped bytes)."""
+
+
+class PlanArtifactVersionError(PlanArtifactError):
+    """The artifact was written by an incompatible plan-store format
+    version; this build refuses to reinterpret it."""
+
+
+class PlanArtifactStaleError(PlanArtifactError):
+    """The artifact is internally intact but does not describe the
+    requested workload: mismatched matrix fingerprint, schedule
+    identity, sweep direction, or toolchain digest."""
+
+
 class ConfigurationError(ReproError):
     """Invalid user-supplied configuration (core counts, parameters, ...)."""
 

@@ -38,6 +38,7 @@ from repro.exec.backends import (
 from repro.exec.plan import (
     DEFAULT_FUSE_THRESHOLD,
     ExecutionPlan,
+    compile_count,
     compile_plan,
 )
 from repro.exec.plan_cache import PlanCache
@@ -51,6 +52,7 @@ __all__ = [
     "ParallelNumbaBackend",
     "PlanCache",
     "available_backends",
+    "compile_count",
     "compile_plan",
     "get_backend",
     "list_backends",

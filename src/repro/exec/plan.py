@@ -58,7 +58,31 @@ from repro.obs_gate import get_obs
 from repro.scheduler.schedule import Schedule
 from repro.utils.arrays import segmented_gather
 
-__all__ = ["DEFAULT_FUSE_THRESHOLD", "ExecutionPlan", "compile_plan"]
+__all__ = ["DEFAULT_FUSE_THRESHOLD", "ExecutionPlan", "compile_count",
+           "compile_plan"]
+
+#: Process-wide count of plan lowerings (:func:`compile_plan` bodies
+#: actually executed).  The plan-store warm-start contract is asserted
+#: against this: a process whose every plan loads from a warm
+#: :class:`~repro.store.plan_store.PlanStore` performs **zero**
+#: compiles (mirroring the persistent-JIT ``jit_compile_stats``
+#: counter).
+_N_COMPILES = 0
+
+
+def compile_count() -> int:
+    """Plans lowered by this process so far (cache/store hits excluded).
+
+    Examples
+    --------
+    >>> from repro.exec import compile_count, compile_plan
+    >>> from repro.matrix.generators import narrow_band_lower
+    >>> before = compile_count()
+    >>> _ = compile_plan(narrow_band_lower(50, 0.2, 5.0, seed=0))
+    >>> compile_count() - before
+    1
+    """
+    return _N_COMPILES
 
 #: Batches with fewer rows than this are fusion candidates: runs of
 #: consecutive small batches execute as one sequential JIT sweep instead
@@ -150,6 +174,7 @@ class ExecutionPlan:
         "fuse_threshold",
         "singular_row",
         "_singular_reason",
+        "provenance",
     )
 
     def __init__(self, **fields: object) -> None:
@@ -159,6 +184,9 @@ class ExecutionPlan:
             n_batches = fields["batch_ptr"].size - 1
             fields["fused_ptr"] = np.arange(n_batches + 1, dtype=np.int64)
             fields.setdefault("fuse_threshold", 0)
+        # where the arrays came from: "compiled" (this process lowered
+        # them) or "store" (deserialized from a PlanStore artifact)
+        fields.setdefault("provenance", "compiled")
         for name in self.__slots__:
             setattr(self, name, fields[name])
 
@@ -403,6 +431,8 @@ def _compile_plan_impl(
     validate: bool | None = None,
 ) -> ExecutionPlan:
     """Instrumentation-free body of :func:`compile_plan`."""
+    global _N_COMPILES
+    _N_COMPILES += 1
     if direction not in ("forward", "backward"):
         raise MatrixFormatError(f"unknown direction {direction!r}")
     if direction == "forward":

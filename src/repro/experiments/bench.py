@@ -48,10 +48,12 @@ from repro.utils.timing import Timer
 
 __all__ = [
     "bench_exec",
+    "bench_plan_store",
     "bench_service",
     "bench_tuner",
     "make_deep_narrow",
     "make_wide_shallow",
+    "plan_store_warm_start_check",
     "run_meta",
     "warm_start_check",
 ]
@@ -435,4 +437,157 @@ def warm_start_check(*, timeout: float = 600.0) -> dict[str, object]:
         "first_process": first,
         "second_process": second,
         "warm_zero_compiles": second["compiles"] == 0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# plan-store suite
+# ---------------------------------------------------------------------------
+def bench_plan_store(*, smoke: bool = False) -> dict[str, object]:
+    """Cold plan compile vs warm verified load from a :class:`PlanStore`.
+
+    The ``BENCH_plan_store.json`` payload: per-shape and total seconds
+    for a cold :func:`~repro.exec.compile_plan` vs a warm
+    :meth:`~repro.store.PlanStore.load` of the same plan from disk —
+    where the load pays for sidecar parsing, the content hash *and* the
+    mandatory :func:`~repro.analysis.verify.check_plan` gate, so the
+    speedup is load-and-verify vs recompute, not a raw I/O number.
+    ``warm_compiles`` counts :func:`~repro.exec.compile_count` growth
+    during the warm loads and must stay 0: a store hit never compiles.
+
+    The corpus leads with **deep-narrow** (a dependency chain), the
+    compile-dominated shape where plan artifacts pay off most; the
+    wide-shallow and narrow-band shapes keep the total honest about
+    small plans where verification overhead rivals the compile.
+    """
+    import tempfile
+
+    from repro.exec.plan import compile_count
+    from repro.store.plan_store import PlanStore, plan_store_key
+
+    corpus = {
+        "deep-narrow": make_deep_narrow(
+            n=4_000 if smoke else 20_000, seed=1
+        ),
+        "wide-shallow": make_wide_shallow(
+            levels=6, width=800 if smoke else 4_000, seed=0
+        ),
+        "narrow-band": narrow_band_lower(
+            2_000 if smoke else 10_000, 0.05, 20.0, seed=2
+        ),
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-plan-store-") as tmp:
+        store = PlanStore(tmp)
+        keys = {name: plan_store_key(m, None) for name, m in corpus.items()}
+
+        cold = {
+            name: _median(lambda m=m: compile_plan(m))
+            for name, m in corpus.items()
+        }
+        for name, m in corpus.items():
+            store.save(compile_plan(m), keys[name])
+
+        for name, m in corpus.items():  # warm-up (page cache, imports)
+            store.load(keys[name], matrix=m)
+        compiles_before = compile_count()
+        warm = {
+            name: _median(
+                lambda name=name, m=m: store.load(keys[name], matrix=m)
+            )
+            for name, m in corpus.items()
+        }
+        warm_compiles = compile_count() - compiles_before
+        stats = store.stats()
+
+    t_cold = sum(cold.values())
+    t_warm = sum(warm.values())
+    return {
+        "suite": "plan_store",
+        "smoke": smoke,
+        "shapes": {
+            name: {"n": corpus[name].n, "cold": cold[name],
+                   "warm": warm[name]}
+            for name in corpus
+        },
+        "seconds": {
+            "cold_compile": t_cold,
+            "warm_load": t_warm,
+        },
+        "speedup": t_cold / t_warm if t_warm > 0 else None,
+        "warm_compiles": warm_compiles,
+        "n_artifacts": stats["n_artifacts"],
+        "total_bytes": stats["total_bytes"],
+    }
+
+
+def plan_store_warm_start_check(*, timeout: float = 600.0) -> dict[str, object]:
+    """Prove a second process starts warm from plan artifacts alone.
+
+    Runs the same probe in two fresh interpreters sharing one
+    throwaway ``REPRO_PLAN_STORE_DIR``: each compiles-or-loads a seeded
+    corpus through :meth:`~repro.exec.PlanCache.get_or_build` and
+    reports its :func:`~repro.exec.compile_count` plus each plan's
+    provenance.  ``warm_zero_compiles`` is the contract ``repro bench
+    --report --suite plan_store`` (and the CI plan-store smoke step)
+    asserts: the second process served every plan from disk, compiling
+    nothing.
+    """
+    import tempfile
+
+    from repro.exec import plan as plan_mod
+    from repro.store.plan_store import PLAN_STORE_ENV_VAR
+
+    src_root = Path(plan_mod.__file__).resolve().parents[2]
+    probe = (
+        "import json\n"
+        "from repro.exec import PlanCache, compile_plan\n"
+        "from repro.exec.plan import compile_count\n"
+        "from repro.experiments.bench import (\n"
+        "    make_deep_narrow, make_wide_shallow)\n"
+        "from repro.matrix.generators import narrow_band_lower\n"
+        "from repro.store.plan_store import plan_store_key\n"
+        "matrices = [\n"
+        "    make_deep_narrow(n=1_200, seed=1),\n"
+        "    make_wide_shallow(levels=4, width=200, seed=0),\n"
+        "    narrow_band_lower(800, 0.05, 20.0, seed=2),\n"
+        "]\n"
+        "cache = PlanCache()\n"
+        "sources = []\n"
+        "for i, m in enumerate(matrices):\n"
+        "    plan = cache.get_or_build(\n"
+        "        ('bench', i), lambda m=m: compile_plan(m),\n"
+        "        store_key=plan_store_key(m, None), source_matrix=m)\n"
+        "    sources.append(plan.provenance)\n"
+        "print(json.dumps({'compiles': compile_count(),"
+        " 'sources': sources}))\n"
+    )
+
+    def run_probe(env: dict[str, str]) -> dict:
+        out = subprocess.run(
+            [sys.executable, "-c", probe],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            check=True,
+        )
+        return json.loads(out.stdout.strip().splitlines()[-1])
+
+    with tempfile.TemporaryDirectory(prefix="plan-store-warm-") as tmp:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src_root), env.get("PYTHONPATH")) if p
+        )
+        env[PLAN_STORE_ENV_VAR] = tmp
+        first = run_probe(env)
+        second = run_probe(env)
+
+    return {
+        "skipped": False,
+        "first_process": first,
+        "second_process": second,
+        "warm_zero_compiles": second["compiles"] == 0,
+        "warm_all_from_store": all(
+            source == "store" for source in second["sources"]
+        ),
     }

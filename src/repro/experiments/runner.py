@@ -80,6 +80,15 @@ class ExperimentResult:
     #: produced (suite-wide when :func:`run_suite` shares a cache).
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Cumulative disk-tier (:class:`~repro.store.plan_store.PlanStore`)
+    #: counters, when ``REPRO_PLAN_STORE_DIR`` routes this run through a
+    #: persisted-plan store: artifacts loaded instead of compiled
+    #: (hits), artifacts absent (misses), and artifacts rejected by the
+    #: integrity gate with compile fallback (rejects).  All zero when no
+    #: store is configured.
+    plan_store_hits: int = 0
+    plan_store_misses: int = 0
+    plan_store_rejects: int = 0
     #: Resolved execution-backend name solves of this run would execute
     #: on (``"numpy"``, ``"numba"``, ``"numba-parallel"``, ...), so suite
     #: rows — including those produced by parallel-suite workers — are
@@ -122,6 +131,7 @@ def _compile_triple(
     scheduler: Scheduler,
     cores: int,
     reorder: bool,
+    store=None,
 ) -> _CompiledTriple:
     """Schedule, reorder and lower one triple (the cache-miss path)."""
     # The Section 5 reordering permutation is scheduling-side work: its
@@ -138,7 +148,26 @@ def _compile_triple(
             exec_schedule = schedule.reorder_vertices(perm)
     # capture per-call scheduler state before the next schedule() call
     sync_dag = getattr(scheduler, "sync_dag", None)
-    plan = compile_plan(exec_matrix, exec_schedule, check_diagonal=False)
+    # the disk tier sits between scheduling and lowering: scheduling is
+    # always paid (the schedule object itself is not persisted), but a
+    # warm PlanStore replaces the lowering with a verified load — the
+    # fingerprint is over the *executed* (possibly reordered) matrix, so
+    # reordered and plain triples never collide
+    plan = None
+    if store is not None:
+        from repro.store.plan_store import plan_store_key
+
+        key = plan_store_key(
+            exec_matrix, exec_schedule, scheduler=scheduler.name
+        )
+        plan = store.get(key, matrix=exec_matrix, schedule=exec_schedule)
+        if plan is None:
+            plan = compile_plan(
+                exec_matrix, exec_schedule, check_diagonal=False
+            )
+            store.put(plan, key)
+    else:
+        plan = compile_plan(exec_matrix, exec_schedule, check_diagonal=False)
     return _CompiledTriple(
         schedule=schedule,
         exec_matrix=exec_matrix,
@@ -189,16 +218,28 @@ def compiled_entry(
     """
     return cache.get_or_build(
         (inst.name, scheduler.name, cores, bool(reorder)),
-        lambda: _compile_triple(inst, scheduler, cores, bool(reorder)),
+        lambda: _compile_triple(
+            inst, scheduler, cores, bool(reorder),
+            store=cache.plan_store,
+        ),
     )
 
 
 def _serial_plan(inst: DatasetInstance, cache: PlanCache) -> ExecutionPlan:
     """The instance's serial plan (the speed-up denominator), cached once
-    per instance and shared by every scheduler in a suite."""
+    per instance and shared by every scheduler in a suite; with a
+    configured disk tier it is loaded from the
+    :class:`~repro.store.plan_store.PlanStore` instead of compiled."""
+    store_key = None
+    if cache.plan_store is not None:
+        from repro.store.plan_store import plan_store_key
+
+        store_key = plan_store_key(inst.lower, None)
     return cache.get_or_build(
         (inst.name, "__serial__", 1, False),
         lambda: compile_plan(inst.lower, check_diagonal=False),
+        store_key=store_key,
+        source_matrix=inst.lower,
     )
 
 
@@ -304,6 +345,15 @@ def run_instance(
         reordered=entry.reordered,
         plan_cache_hits=cache.hits,
         plan_cache_misses=cache.misses,
+        plan_store_hits=(
+            cache.plan_store.hits if cache.plan_store is not None else 0
+        ),
+        plan_store_misses=(
+            cache.plan_store.misses if cache.plan_store is not None else 0
+        ),
+        plan_store_rejects=(
+            cache.plan_store.rejects if cache.plan_store is not None else 0
+        ),
         # cheap: backend availability is resolved once per process and
         # cached by the registry
         backend=get_backend().name,

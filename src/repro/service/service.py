@@ -106,6 +106,7 @@ class _System:
             n_plan_swaps=self.n_plan_swaps,
             arm_seconds=dict(self.arms),
             backend=backend,
+            plan_source=getattr(self.plan, "provenance", "compiled"),
             latency_hist=(
                 self.latency_hist._snapshot()
                 if self.latency_hist is not None else None
@@ -282,9 +283,21 @@ class SolveService:
                 )
         else:
             cache_key = ("__service__", key, direction)
+            store_key = None
+            if self._cache.plan_store is not None:
+                # deferred import: the store layer is only touched when
+                # a disk tier is configured (REPRO_PLAN_STORE_DIR)
+                from repro.store.plan_store import plan_store_key
+
+                store_key = plan_store_key(
+                    matrix, schedule, direction=direction
+                )
             plan = self._cache.get_or_build(
                 cache_key,
                 lambda: compile_plan(matrix, schedule, direction=direction),
+                store_key=store_key,
+                source_matrix=matrix,
+                source_schedule=schedule,
             )
             if plan.matrix is not matrix or plan.schedule is not schedule:
                 # cache hit for a different system under the same key:

@@ -56,6 +56,12 @@ class SystemStats:
         Resolved execution-backend name every batch of this system ran
         on (``"numpy"``, ``"numba"``, ``"numba-parallel"``, ...), so
         throughput numbers are attributable to a kernel tier.
+    plan_source:
+        Where the serving plan's arrays came from: ``"compiled"``
+        (this process lowered them) or ``"store"`` (deserialized from
+        a :class:`~repro.store.plan_store.PlanStore` artifact behind
+        the mandatory ``check_plan`` gate) — so zero-compile cold
+        starts are attributable per system.
 
     Examples
     --------
@@ -84,6 +90,7 @@ class SystemStats:
     n_plan_swaps: int = 0
     arm_seconds: dict = field(default_factory=dict)
     backend: str = ""
+    plan_source: str = ""
     latency_hist: dict | None = None
     batch_hist: dict | None = None
 
@@ -160,6 +167,7 @@ class SystemStats:
             "tuned_scheduler": self.tuned_scheduler,
             "plan_swaps": self.n_plan_swaps,
             "backend": self.backend,
+            "plan_source": self.plan_source,
         }
         if self.latency_hist is not None:
             row["latency_p50_s"] = self.latency_p50_s

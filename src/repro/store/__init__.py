@@ -18,8 +18,27 @@ Producers: ``repro tune`` (``--store``), the sharded suite runner
 (per-worker stores merged deterministically) and the live
 :class:`~repro.service.SolveService` (measured hot-swap races).  The
 CLI surface is ``repro store merge|prune|stats|retrain``.
+
+The sibling :mod:`~repro.store.plan_store` is the *compiled-artifact*
+data-plane: :class:`PlanStore` persists lowered
+:class:`~repro.exec.plan.ExecutionPlan`s (versioned npz + sidecar,
+exact-key lookup, atomic racing writers, LRU disk budget) so warm
+processes load instead of compile — behind the mandatory
+``check_plan`` integrity gate.  CLI surface:
+``repro plans save|load|ls|gc|verify``.
 """
 
+from repro.store.plan_store import (
+    PLAN_STORE_ENV_VAR,
+    PLAN_STORE_MAX_BYTES_ENV_VAR,
+    PLAN_STORE_VERSION,
+    PlanKey,
+    PlanStore,
+    plan_store_from_env,
+    plan_store_key,
+    schedule_identity,
+    toolchain_digest,
+)
 from repro.store.prune import coverage_prune, farthest_point_order
 from repro.store.store import (
     OBSERVATION_MODES,
@@ -36,11 +55,20 @@ __all__ = [
     "MergeStats",
     "OBSERVATION_MODES",
     "ObservationStore",
+    "PLAN_STORE_ENV_VAR",
+    "PLAN_STORE_MAX_BYTES_ENV_VAR",
+    "PLAN_STORE_VERSION",
+    "PlanKey",
+    "PlanStore",
     "PruneStats",
     "STORE_VERSION",
     "build_record",
     "coverage_prune",
     "farthest_point_order",
     "machine_fingerprint",
+    "plan_store_from_env",
+    "plan_store_key",
     "record_key",
+    "schedule_identity",
+    "toolchain_digest",
 ]

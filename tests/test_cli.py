@@ -517,3 +517,90 @@ def test_check_rules_catalogue(capsys):
 def test_check_missing_path_is_error(capsys):
     assert main(["check", "source", "--path", "/no/such/dir"]) == 2
     assert "error" in capsys.readouterr().err
+
+
+class TestPlansVerbs:
+    """``repro plans save|load|ls|gc|verify`` over a store directory."""
+
+    def test_save_load_ls_roundtrip(self, matrix_file, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "plans")
+        assert main(["plans", "save", "--store", store,
+                     "--matrix", matrix_file, "--scheduler", "growlocal",
+                     "--cores", "4", "--json"]) == 0
+        saved = json.loads(capsys.readouterr().out)
+        assert saved["saved"] is True
+        assert saved["key"]["cores"] == 4
+        # second save of the same key is a no-op, not an error
+        assert main(["plans", "save", "--store", store,
+                     "--matrix", matrix_file, "--scheduler", "growlocal",
+                     "--cores", "4", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["saved"] is False
+        assert main(["plans", "load", "--store", store,
+                     "--matrix", matrix_file, "--scheduler", "growlocal",
+                     "--cores", "4", "--json"]) == 0
+        loaded = json.loads(capsys.readouterr().out)
+        assert loaded["hit"] is True
+        assert loaded["provenance"] == "store"
+        assert main(["plans", "ls", "--store", store, "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert len(listing["artifacts"]) == 1
+        assert listing["artifacts"][0]["stem"] == saved["stem"]
+
+    def test_load_miss_exits_nonzero(self, matrix_file, tmp_path, capsys):
+        store = str(tmp_path / "plans")
+        assert main(["plans", "save", "--store", store,
+                     "--matrix", matrix_file]) == 0
+        capsys.readouterr()
+        # different key (serial vs scheduled) -> miss
+        assert main(["plans", "load", "--store", store,
+                     "--matrix", matrix_file, "--scheduler", "growlocal",
+                     "--cores", "4"]) == 1
+        assert "no plan artifact" in capsys.readouterr().out
+
+    def test_verify_flags_corruption_and_exits_nonzero(
+        self, matrix_file, tmp_path, capsys
+    ):
+        import json
+        from pathlib import Path
+
+        store = str(tmp_path / "plans")
+        assert main(["plans", "save", "--store", store,
+                     "--matrix", matrix_file]) == 0
+        capsys.readouterr()
+        npz = next(Path(store).glob("plan-*.npz"))
+        data = bytearray(npz.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        npz.write_bytes(bytes(data))
+        assert main(["plans", "verify", "--store", store,
+                     "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["n_bad"] == 1
+        assert report["artifacts"][0]["error_type"] in (
+            "PlanArtifactCorruptError", "PlanVerificationError",
+        )
+        # the rejected artifact never serves: load falls to exit 1
+        assert main(["plans", "load", "--store", store,
+                     "--matrix", matrix_file]) == 1
+
+    def test_gc_and_missing_store_error(self, matrix_file, tmp_path,
+                                        capsys):
+        store = str(tmp_path / "plans")
+        assert main(["plans", "save", "--store", store,
+                     "--matrix", matrix_file]) == 0
+        assert main(["plans", "gc", "--store", store,
+                     "--max-bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 artifact(s) evicted" in out
+        assert main(["plans", "ls", "--store",
+                     str(tmp_path / "absent")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_schedule_and_scheduler_are_exclusive(self, matrix_file,
+                                                  tmp_path, capsys):
+        assert main(["plans", "save", "--store", str(tmp_path / "p"),
+                     "--matrix", matrix_file,
+                     "--schedule", "s.json",
+                     "--scheduler", "growlocal"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
