@@ -1,0 +1,104 @@
+"""Perf floor for the sharded serving gateway under hot-key traffic.
+
+Head-run coalescing in :class:`~repro.service.SolveService` only
+batches *consecutive* same-system queue entries, so two hot keys whose
+requests interleave collapse every batch to size 1 — each solve pays
+the full per-layer Python dispatch alone.  A 2-shard
+:class:`~repro.service.ServingGateway` routes the two keys to disjoint
+queues, each single-key contiguous, and batching comes back.  This
+benchmark floors that restoration: on an interleaved 2-hot-key
+backlog, the 2-shard gateway must sustain at least ``MIN_SPEEDUP``x
+the single service's drain throughput, while every returned vector
+stays bit-equal to a direct backend solve.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the instance for CI; the floor stays
+on.
+"""
+
+import os
+
+import numpy as np
+
+from repro.exec import PlanCache, compile_plan, get_backend
+from repro.experiments.bench import _serving_corpus
+from repro.experiments.tables import format_table
+from repro.service import ServingGateway, SolveService, pick_balanced_keys
+from repro.service.loadgen import saturation_throughput
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+#: Interleaved backlog size; round-robin across the two hot keys.
+N_REQUESTS = 200 if SMOKE else 800
+#: Conservative floor; measured margin is ~3-4x (smoke) / ~2x (full).
+MIN_SPEEDUP = 1.5
+
+
+def test_two_shard_gateway_beats_single_service_on_hot_keys():
+    lower = _serving_corpus(smoke=SMOKE)
+    backend = get_backend()
+    plan = compile_plan(lower)
+    cache = PlanCache()
+    hot_keys = pick_balanced_keys(2, 2, prefix="hot")
+    rng = np.random.default_rng(7)
+    rhs = {key: rng.standard_normal(lower.n) for key in hot_keys}
+    oracle = {key: backend.solve(plan, rhs[key]) for key in hot_keys}
+
+    def drain(target):
+        # warm-up drain first so JIT/caches don't skew either side
+        saturation_throughput(target, hot_keys, rhs, N_REQUESTS)
+        return saturation_throughput(target, hot_keys, rhs, N_REQUESTS)
+
+    with SolveService(backend=backend, plan_cache=cache) as service:
+        for key in hot_keys:
+            service.register(key, lower)
+        single = drain(service)
+        for key in hot_keys:
+            np.testing.assert_array_equal(
+                service.solve(key, rhs[key]), oracle[key]
+            )
+        single_batch = max(
+            service.stats(k).avg_batch_size for k in hot_keys
+        )
+
+    with ServingGateway(
+        n_shards=2, backend=backend, plan_cache=cache
+    ) as gateway:
+        for key in hot_keys:
+            gateway.register(key, lower)
+        sharded = drain(gateway)
+        # acceptance criterion: the gateway solves bit-equal to a
+        # direct backend solve of the same plan
+        for key in hot_keys:
+            np.testing.assert_array_equal(
+                gateway.solve(key, rhs[key]), oracle[key]
+            )
+        sharded_batch = max(
+            s.avg_batch_size
+            for per_shard in gateway.shard_stats()
+            for s in per_shard.values()
+        )
+
+    speedup = sharded["throughput_rps"] / single["throughput_rps"]
+    print()
+    print(format_table(
+        ["topology", "requests", "drain s", "rps", "max avg batch"],
+        [
+            ["single service", N_REQUESTS, single["elapsed_s"],
+             single["throughput_rps"], single_batch],
+            ["2-shard gateway", N_REQUESTS, sharded["elapsed_s"],
+             sharded["throughput_rps"], sharded_batch],
+        ],
+        title=f"sharded-serving benchmark (n={lower.n}, backend="
+              f"{backend.name}, smoke={SMOKE})",
+        float_fmt="{:.4f}",
+    ))
+    print(f"2-shard saturation speed-up over single service: "
+          f"{speedup:.1f}x")
+
+    assert sharded_batch > single_batch, (
+        "sharding did not restore coalescing: shard avg batch "
+        f"{sharded_batch:.2f} vs single {single_batch:.2f}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"2-shard gateway only {speedup:.2f}x over the single service "
+        f"on interleaved hot keys (floor {MIN_SPEEDUP}x)"
+    )

@@ -28,6 +28,9 @@ Exposes the library's main workflows without writing Python::
     python -m repro plans     verify --store plans.store --json
     python -m repro generate  --kind erdos_renyi --n 10000 --p 5e-4 \
                               --output L.mtx
+    python -m repro serve     --shards 4 --systems 8 --requests 2000
+    python -m repro loadgen   --shards 2 --rate 500 --duration 2 \
+                              --zipf 1.1 --max-queue 256 --json
     python -m repro datasets  --name suitesparse
     python -m repro machines
     python -m repro obs       report --dir .repro-obs --json
@@ -80,6 +83,28 @@ from repro.solver.sptrsv import forward_substitution
 from repro.utils.timing import Timer
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_topology_args(p) -> None:
+    """Shared ``serve``/``loadgen`` flags describing the gateway."""
+    p.add_argument("--shards", type=int, default=2,
+                   help="number of SolveService shards (default 2)")
+    p.add_argument("--systems", type=int, default=4,
+                   help="registered demo systems, named so they "
+                        "balance across the shards (default 4)")
+    p.add_argument("--matrix", default=None,
+                   help="Matrix Market file registered under every "
+                        "system key (default: the built-in serving "
+                        "corpus)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="largest coalesced micro-batch (default 64)")
+    p.add_argument("--max-queue", type=int, default=None,
+                   help="per-shard admission bound (default "
+                        "unbounded); overflow raises AdmissionError")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline in seconds (default "
+                        "none); missed deadlines fail with "
+                        "DeadlineExceededError")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -389,8 +414,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the micro-benchmark suites (per-backend perf floors)",
     )
     p.add_argument("--suite", default="exec",
-                   choices=["exec", "service", "tuner", "plan_store",
-                            "all"],
+                   choices=["exec", "service", "serving", "tuner",
+                            "plan_store", "all"],
                    help="which micro-benchmark suite to run")
     p.add_argument("--smoke", action="store_true",
                    help="shrunk instances (CI-sized; floors stay on)")
@@ -407,6 +432,41 @@ def build_parser() -> argparse.ArgumentParser:
                         "the metrics snapshot + trace JSONL here")
     p.add_argument("--json", action="store_true",
                    help="print results as JSON instead of tables")
+
+    p = sub.add_parser(
+        "serve",
+        help="bring up a sharded serving gateway over a demo corpus "
+             "and drain an interleaved backlog through it",
+    )
+    _add_topology_args(p)
+    p.add_argument("--requests", type=int, default=1_000,
+                   help="backlog size drained round-robin across the "
+                        "registered systems (default 1000)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of tables")
+
+    p = sub.add_parser(
+        "loadgen",
+        help="open-loop traffic (Poisson arrivals, Zipf skew, burst "
+             "phases) against a sharded gateway; reports p50/p90/p99",
+    )
+    _add_topology_args(p)
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="baseline arrival rate in requests/s "
+                        "(default 500)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="baseline phase length in seconds (default 2)")
+    p.add_argument("--burst-rate", type=float, default=None,
+                   help="optional burst-phase arrival rate (rps)")
+    p.add_argument("--burst-duration", type=float, default=0.5,
+                   help="burst phase length in seconds (default 0.5)")
+    p.add_argument("--zipf", type=float, default=1.0,
+                   help="hot-key skew exponent (0 = uniform; "
+                        "default 1.0)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="schedule seed (arrivals + key choices)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of tables")
 
     p = sub.add_parser(
         "obs",
@@ -1180,6 +1240,7 @@ def _cmd_bench(args) -> int:
     runners = {
         "exec": bench_lib.bench_exec,
         "service": bench_lib.bench_service,
+        "serving": bench_lib.bench_serving,
         "tuner": bench_lib.bench_tuner,
         "plan_store": bench_lib.bench_plan_store,
     }
@@ -1266,6 +1327,148 @@ def _cmd_bench(args) -> int:
                 file=sys.stderr,
             )
             return 3
+    return 0
+
+
+def _serving_target(args):
+    """Build the gateway + demo corpus behind ``serve``/``loadgen``.
+
+    Returns ``(gateway, keys, rhs)``: an open
+    :class:`~repro.service.ServingGateway` with ``args.systems``
+    registered systems whose keys balance across ``args.shards``
+    shards, and a seeded RHS per key.  The caller owns ``close()``.
+    """
+    from repro.errors import ConfigurationError
+    from repro.experiments.bench import _serving_corpus
+    from repro.service import ServingGateway, pick_balanced_keys
+
+    if args.shards < 1:
+        raise ConfigurationError(
+            f"--shards must be >= 1, got {args.shards}"
+        )
+    if args.systems < 1:
+        raise ConfigurationError(
+            f"--systems must be >= 1, got {args.systems}"
+        )
+    matrix = (
+        _load_lower(args.matrix)
+        if args.matrix
+        else _serving_corpus(smoke=True)
+    )
+    keys = pick_balanced_keys(args.systems, args.shards)
+    rng = np.random.default_rng(17)
+    rhs = {key: rng.standard_normal(matrix.n) for key in keys}
+    gateway = ServingGateway(
+        args.shards,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+    )
+    try:
+        for key in keys:
+            gateway.register(key, matrix)
+    except BaseException:
+        gateway.close(wait=False)
+        raise
+    return gateway, keys, rhs
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: stand up a topology and drain a backlog."""
+    from repro.experiments.tables import format_table
+    from repro.service.loadgen import saturation_throughput
+
+    gateway, keys, rhs = _serving_target(args)
+    try:
+        result = saturation_throughput(
+            gateway, keys, rhs, args.requests
+        )
+        shard_stats = gateway.shard_stats()
+    finally:
+        gateway.close()
+
+    payload = {
+        "n_shards": args.shards,
+        "n_systems": len(keys),
+        "throughput_rps": result["throughput_rps"],
+        "elapsed_s": result["elapsed_s"],
+        "n_requests": int(result["n_requests"]),
+        "shards": [
+            {str(key): stats.as_row() for key, stats in per_shard.items()}
+            for per_shard in shard_stats
+        ],
+    }
+    if args.json:
+        print(json.dumps(_json_sanitize(payload), indent=2))
+        return 0
+    rows = []
+    for shard, per_shard in enumerate(shard_stats):
+        for key, stats in sorted(
+            per_shard.items(), key=lambda item: str(item[0])
+        ):
+            rows.append([
+                shard, key, stats.n_requests,
+                f"{stats.avg_batch_size:.1f}",
+                f"{stats.avg_latency_seconds * 1e3:.3f}",
+                f"{stats.avg_queue_wait_seconds * 1e3:.3f}",
+            ])
+    print(format_table(
+        ["shard", "system", "requests", "avg batch", "avg lat ms",
+         "avg wait ms"],
+        rows,
+        title=f"serve: {args.shards} shard(s), "
+              f"{payload['throughput_rps']:.0f} req/s sustained",
+    ))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    """``repro loadgen``: open-loop traffic against a gateway."""
+    from repro.service.loadgen import (
+        BurstPhase,
+        LoadgenConfig,
+        run_loadgen,
+    )
+
+    phases = [BurstPhase(args.rate, args.duration)]
+    if args.burst_rate is not None:
+        phases.append(BurstPhase(args.burst_rate, args.burst_duration))
+    config = LoadgenConfig(
+        phases=tuple(phases),
+        zipf_s=args.zipf,
+        seed=args.seed,
+        timeout_s=args.timeout,
+    )
+    gateway, keys, rhs = _serving_target(args)
+    try:
+        report = run_loadgen(gateway, keys, rhs, config)
+    finally:
+        gateway.close()
+
+    payload = report.as_dict()
+    payload["n_shards"] = args.shards
+    payload["n_systems"] = len(keys)
+    if args.json:
+        print(json.dumps(_json_sanitize(payload), indent=2))
+        return 0
+    print(f"loadgen: {args.shards} shard(s), {len(keys)} system(s), "
+          f"zipf_s={args.zipf:g}, offered "
+          f"{report.offered_rate_rps:.0f} req/s for "
+          f"{report.duration_s:.2f}s")
+    print(f"  requests: {report.n_requests} "
+          f"(ok {report.n_ok}, rejected {report.n_admission_rejected}, "
+          f"deadline-missed {report.n_deadline_missed}, "
+          f"failed {report.n_failed})")
+    print(f"  achieved: {report.achieved_rps:.0f} req/s")
+    print(f"  latency:  p50 {report.latency_p50_s * 1e3:.3f}ms  "
+          f"p90 {report.latency_p90_s * 1e3:.3f}ms  "
+          f"p99 {report.latency_p99_s * 1e3:.3f}ms")
+    print(f"  breakdown: queue-wait {report.total_queue_wait_s:.3f}s, "
+          f"execute {report.total_execute_s:.3f}s")
+    print(f"  balance:  per-shard completed {report.per_shard_requests}")
+    if report.max_schedule_slip_s > 0:
+        print(f"  schedule slip: up to "
+              f"{report.max_schedule_slip_s * 1e3:.3f}ms behind "
+              "the open-loop arrival plan")
     return 0
 
 
@@ -1438,6 +1641,8 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "machines": _cmd_machines,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "obs": _cmd_obs,
     "check": _cmd_check,
 }

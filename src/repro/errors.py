@@ -95,6 +95,33 @@ class ConfigurationError(ReproError):
     """Invalid user-supplied configuration (core counts, parameters, ...)."""
 
 
+class ServiceClosedError(ConfigurationError):
+    """A request was submitted to a closed serving component.
+
+    Raised by :meth:`~repro.service.SolveService.submit` /
+    ``submit_many`` / ``solve`` / ``solve_block`` (and the matching
+    :class:`~repro.service.ServingGateway` paths) after ``close()``.
+    Subclasses :class:`ConfigurationError`, so handlers written before
+    this name existed keep working."""
+
+
+class AdmissionError(ReproError):
+    """A serving queue refused new work because it is full.
+
+    Raised at submission time when a bounded request queue
+    (``max_queue``) would overflow — backpressure surfaces as a named,
+    immediate error instead of unbounded queue growth.  Nothing was
+    enqueued: a rejected submission has no partial effect."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline passed before the service executed it.
+
+    Set as the *exception of the request's future* (it is the client's
+    outcome, not a submission-time failure): the worker fails expired
+    requests instead of letting dead work occupy batch slots."""
+
+
 class BackendUnavailableError(ConfigurationError):
     """An execution backend was requested but cannot run in this
     environment (e.g. the ``numba`` backend without numba installed)."""

@@ -50,6 +50,7 @@ __all__ = [
     "bench_exec",
     "bench_plan_store",
     "bench_service",
+    "bench_serving",
     "bench_tuner",
     "make_deep_narrow",
     "make_wide_shallow",
@@ -345,6 +346,159 @@ def bench_service(*, smoke: bool = False) -> dict[str, object]:
         },
         "speedup": t_sequential / t_service if t_service > 0 else None,
         "avg_batch": stats.avg_batch_size,
+    }
+
+
+# ---------------------------------------------------------------------------
+# serving suite
+# ---------------------------------------------------------------------------
+def _serving_corpus(*, smoke: bool) -> CSRMatrix:
+    """The serving-bench system: a deep stack of small dependency layers.
+
+    Micro-batching amortizes the per-layer dispatch of a solve across
+    every coalesced RHS, so the shape where batching matters — and
+    where sharding's batch restoration shows up as throughput — is
+    many layers of modest width, not the wide-shallow ``prange``
+    shape."""
+    return make_wide_shallow(
+        levels=48 if smoke else 64,
+        width=64 if smoke else 100,
+        deps=3,
+        seed=0,
+    )
+
+
+def bench_serving(*, smoke: bool = False) -> dict[str, object]:
+    """Single service vs sharded gateway under measured traffic.
+
+    The ``BENCH_serving.json`` payload, in two parts:
+
+    * ``saturation`` — backlog-drain throughput of a single
+      :class:`~repro.service.SolveService` vs 2- and 4-shard
+      :class:`~repro.service.ServingGateway` topologies on an
+      interleaved **2-hot-key** corpus: consecutive queue entries
+      alternate systems, so the single service's head-run coalescing
+      collapses to batch-1 while each shard's queue stays single-key
+      contiguous and batches fully.  ``speedup_shard2`` is the number
+      the CI smoke floor (≥ 1.5x) guards.
+    * ``loadgen`` — one identical open-loop schedule (Poisson
+      arrivals, Zipf-skewed over 4 keys, a burst phase at ~1.6x the
+      single service's measured saturation) replayed against each
+      topology: client-observed p50/p90/p99 latency, queue-wait vs
+      execute breakdown, achieved rate and per-shard balance.
+
+    All topologies share one plan cache, so each system compiles once;
+    the schedule is seeded, so every topology sees identical traffic.
+    """
+    from repro.service import (
+        ServingGateway,
+        SolveService,
+        pick_balanced_keys,
+    )
+    from repro.service.loadgen import (
+        BurstPhase,
+        LoadgenConfig,
+        run_loadgen,
+        saturation_throughput,
+    )
+
+    matrix = _serving_corpus(smoke=smoke)
+    n_sat = 300 if smoke else 1_200
+    sat_repeats = 1 if smoke else 3
+    backend = get_backend()
+    cache = PlanCache()
+    rng = np.random.default_rng(11)
+
+    hot_keys = pick_balanced_keys(2, (2, 4), prefix="hot")
+    skew_keys = pick_balanced_keys(4, (2, 4), prefix="skew")
+    rhs = {
+        key: rng.standard_normal(matrix.n)
+        for key in hot_keys + skew_keys
+    }
+
+    def topologies():
+        single = SolveService(backend=backend, plan_cache=cache)
+        shard2 = ServingGateway(
+            2, backend=backend, plan_cache=cache
+        )
+        shard4 = ServingGateway(
+            4, backend=backend, plan_cache=cache
+        )
+        return {"single": single, "shard2": shard2, "shard4": shard4}
+
+    # -- saturation: interleaved 2-hot-key backlog drain ---------------
+    saturation: dict[str, object] = {
+        "n_requests": n_sat,
+        "n_hot_keys": len(hot_keys),
+        "throughput_rps": {},
+        "avg_batch": {},
+    }
+    targets = topologies()
+    try:
+        for name, target in targets.items():
+            for key in hot_keys:
+                target.register(key, matrix)
+            saturation_throughput(target, hot_keys, rhs, n_sat)  # warm
+            runs = [
+                saturation_throughput(target, hot_keys, rhs, n_sat)
+                for _ in range(sat_repeats)
+            ]
+            saturation["throughput_rps"][name] = float(
+                np.median([r["throughput_rps"] for r in runs])
+            )
+            stats = target.stats(hot_keys[0])
+            saturation["avg_batch"][name] = stats.avg_batch_size
+    finally:
+        for target in targets.values():
+            target.close()
+    rates = saturation["throughput_rps"]
+    saturation["speedup_shard2"] = rates["shard2"] / rates["single"]
+    saturation["speedup_shard4"] = rates["shard4"] / rates["single"]
+
+    # -- open-loop skewed traffic, identical schedule per topology -----
+    base_rate = 0.5 * rates["single"]
+    burst_rate = 1.6 * rates["single"]
+    config = LoadgenConfig(
+        phases=(
+            BurstPhase(base_rate, 0.2 if smoke else 1.0),
+            BurstPhase(burst_rate, 0.1 if smoke else 0.5),
+            BurstPhase(base_rate, 0.1 if smoke else 0.5),
+        ),
+        zipf_s=1.1,
+        seed=13,
+    )
+    reports: dict[str, dict[str, object]] = {}
+    targets = topologies()
+    try:
+        for name, target in targets.items():
+            for key in skew_keys:
+                target.register(key, matrix)
+            reports[name] = run_loadgen(
+                target, skew_keys, rhs, config
+            ).as_dict()
+    finally:
+        for target in targets.values():
+            target.close()
+
+    return {
+        "suite": "serving",
+        "smoke": smoke,
+        "backend": backend.name,
+        "corpus": {
+            "n": matrix.n,
+            "nnz": int(matrix.nnz),
+            "n_skew_keys": len(skew_keys),
+        },
+        "saturation": saturation,
+        "loadgen": {
+            "zipf_s": config.zipf_s,
+            "seed": config.seed,
+            "phases": [
+                {"rate_rps": p.rate_rps, "duration_s": p.duration_s}
+                for p in config.phases
+            ],
+            "reports": reports,
+        },
     }
 
 

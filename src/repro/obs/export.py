@@ -24,6 +24,7 @@ REPORT_QUANTILES = (0.50, 0.95, 0.99)
 #: (grouped by their ``system`` label).
 LATENCY_METRIC = "service.request_latency_seconds"
 BATCH_METRIC = "service.batch_size"
+QUEUE_WAIT_METRIC = "service.queue_wait_seconds"
 
 
 def load_dir(directory: str | os.PathLike) -> tuple[dict, list[dict]]:
@@ -78,14 +79,16 @@ def report(snapshot: dict, events: list[dict] | None = None) -> dict:
     Shape::
 
         {"systems": {name: {"latency": {...p50/p95/p99...},
-                            "batch":   {...}}},
+                            "batch":   {...},
+                            "queue_wait": {...}}},
          "counters": {key: value}, "gauges": {key: value},
          "histograms": {key: {count, sum, min, max, p50, p95, p99}},
          "trace": {"events": n, "by_name": {...}} }
 
-    The ``systems`` section pivots the service's per-system latency and
-    batch-size histograms by their ``system`` label — the view the
-    acceptance criterion ("non-trivial p50/p99 per system") reads.
+    The ``systems`` section pivots the service's per-system latency,
+    batch-size and queue-wait histograms by their ``system`` label —
+    the view the acceptance criterion ("non-trivial p50/p99 per
+    system") reads.
     """
     systems: dict[str, dict] = {}
     histograms: dict[str, dict] = {}
@@ -98,6 +101,10 @@ def report(snapshot: dict, events: list[dict] | None = None) -> dict:
             systems.setdefault(system, {})["latency"] = _hist_summary(snap)
         elif snap.get("name") == BATCH_METRIC:
             systems.setdefault(system, {})["batch"] = _hist_summary(snap)
+        elif snap.get("name") == QUEUE_WAIT_METRIC:
+            systems.setdefault(system, {})["queue_wait"] = _hist_summary(
+                snap
+            )
     out: dict[str, object] = {
         "systems": systems,
         "counters": {

@@ -14,9 +14,27 @@ the plan's dependency layers instead of ``k``.
 
 Per-system latency / throughput / batch-size statistics are exposed via
 :meth:`SolveService.stats`.
+
+For traffic spread over *many* systems, a single service's head-run
+coalescing degrades to batch-1 dispatch (cross-key head-of-line
+blocking); the :class:`ServingGateway` removes that by routing each
+key, via a stable hash, to one of N independent service shards — see
+:mod:`repro.service.gateway`.  The open-loop traffic harness that
+measures both lives in :mod:`repro.service.loadgen`.
 """
 
+from repro.service.gateway import (
+    ServingGateway,
+    pick_balanced_keys,
+    shard_index,
+)
 from repro.service.service import SolveService
 from repro.service.stats import SystemStats
 
-__all__ = ["SolveService", "SystemStats"]
+__all__ = [
+    "ServingGateway",
+    "SolveService",
+    "SystemStats",
+    "pick_balanced_keys",
+    "shard_index",
+]

@@ -32,7 +32,13 @@ from concurrent.futures import Future
 
 import numpy as np
 
-from repro.errors import ConfigurationError, MatrixFormatError
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DeadlineExceededError,
+    MatrixFormatError,
+    ServiceClosedError,
+)
 from repro.exec import (
     ExecutionBackend,
     ExecutionPlan,
@@ -65,12 +71,16 @@ class _System:
         "max_batch_size",
         "total_latency_seconds",
         "total_solve_seconds",
+        "total_queue_wait_seconds",
+        "n_deadline_misses",
+        "n_admission_rejections",
         "max_batch",
         "tuned_scheduler",
         "n_plan_swaps",
         "arms",
         "latency_hist",
         "batch_hist",
+        "queue_wait_hist",
     )
 
     def __init__(self, key: object, plan: ExecutionPlan) -> None:
@@ -81,6 +91,13 @@ class _System:
         self.max_batch_size = 0
         self.total_latency_seconds = 0.0
         self.total_solve_seconds = 0.0
+        #: Cheap always-on counters: summed enqueue-to-execute wait,
+        #: deadline-failed requests and admission-rejected submissions.
+        #: These stay populated with ``REPRO_OBS`` off — head-of-line
+        #: blocking must be visible in plain ``stats()`` output.
+        self.total_queue_wait_seconds = 0.0
+        self.n_deadline_misses = 0
+        self.n_admission_rejections = 0
         #: Per-system micro-batch bound (None: the service default).
         self.max_batch: int | None = None
         #: Autotuner outcome (None for explicitly scheduled systems).
@@ -92,6 +109,7 @@ class _System:
         #: process registry under ``system=<key>`` labels.
         self.latency_hist = None
         self.batch_hist = None
+        self.queue_wait_hist = None
 
     def snapshot(self, backend: str = "") -> SystemStats:
         return SystemStats(
@@ -102,6 +120,9 @@ class _System:
             max_batch_size=self.max_batch_size,
             total_latency_seconds=self.total_latency_seconds,
             total_solve_seconds=self.total_solve_seconds,
+            total_queue_wait_seconds=self.total_queue_wait_seconds,
+            n_deadline_misses=self.n_deadline_misses,
+            n_admission_rejections=self.n_admission_rejections,
             tuned_scheduler=self.tuned_scheduler,
             n_plan_swaps=self.n_plan_swaps,
             arm_seconds=dict(self.arms),
@@ -115,19 +136,34 @@ class _System:
                 self.batch_hist._snapshot()
                 if self.batch_hist is not None else None
             ),
+            queue_wait_hist=(
+                self.queue_wait_hist._snapshot()
+                if self.queue_wait_hist is not None else None
+            ),
         )
 
 
 class _Request:
-    __slots__ = ("system", "b", "future", "enqueued_at")
+    __slots__ = ("system", "b", "future", "enqueued_at", "deadline")
 
     def __init__(
-        self, system: _System, b: np.ndarray, future: Future, enqueued_at: float
+        self,
+        system: _System,
+        b: np.ndarray,
+        future: Future,
+        enqueued_at: float,
+        deadline: float | None = None,
     ) -> None:
         self.system = system
         self.b = b
         self.future = future
         self.enqueued_at = enqueued_at
+        #: Absolute ``perf_counter`` instant after which the worker
+        #: fails this request instead of executing it (None: no bound).
+        self.deadline = deadline
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
 
 
 class SolveService:
@@ -141,6 +177,13 @@ class SolveService:
     max_batch:
         Largest micro-batch the worker coalesces into one
         ``solve_block`` call.
+    max_queue:
+        Admission bound: largest number of requests allowed to wait in
+        the queue at once (default None: unbounded).  A submission that
+        would overflow it raises
+        :class:`~repro.errors.AdmissionError` immediately — enqueueing
+        nothing — so sustained overload surfaces as backpressure
+        instead of unbounded memory growth and tail latency.
     plan_cache:
         Shared thread-safe :class:`~repro.exec.PlanCache` used to lower
         registered systems; a private cache is created when omitted.
@@ -171,13 +214,17 @@ class SolveService:
         *,
         backend: str | None = None,
         max_batch: int = 64,
+        max_queue: int | None = None,
         plan_cache: PlanCache | None = None,
         store=None,
     ) -> None:
         if max_batch < 1:
             raise ConfigurationError("max_batch must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1 (or None)")
         self._backend = get_backend(backend)
         self._max_batch = int(max_batch)
+        self._max_queue = int(max_queue) if max_queue is not None else None
         self._cache = plan_cache if plan_cache is not None else PlanCache()
         self._store = store
         #: The obs module when ``REPRO_OBS`` is on, else None.  Captured
@@ -204,6 +251,9 @@ class SolveService:
             )
             system.batch_hist = registry.histogram(
                 "service.batch_size", system=str(key), **_BATCH_HIST_SPEC
+            )
+            system.queue_wait_hist = registry.histogram(
+                "service.queue_wait_seconds", system=str(key)
             )
         return system
 
@@ -532,23 +582,45 @@ class SolveService:
     # ------------------------------------------------------------------
     # request paths
     # ------------------------------------------------------------------
-    def submit(self, key: object, b: np.ndarray) -> "Future[np.ndarray]":
-        """Enqueue one right-hand side; returns a future for ``x``."""
-        return self.submit_many(key, [b])[0]
+    def submit(
+        self, key: object, b: np.ndarray, *, timeout: float | None = None
+    ) -> "Future[np.ndarray]":
+        """Enqueue one right-hand side; returns a future for ``x``.
+
+        ``timeout`` (seconds) sets the request's deadline: if the
+        worker has not *started executing* it within the bound, the
+        future fails with
+        :class:`~repro.errors.DeadlineExceededError` instead of the
+        expired request occupying a batch slot.
+        """
+        return self.submit_many(key, [b], timeout=timeout)[0]
 
     def submit_many(
-        self, key: object, bs: list[np.ndarray] | np.ndarray
+        self,
+        key: object,
+        bs: list[np.ndarray] | np.ndarray,
+        *,
+        timeout: float | None = None,
     ) -> "list[Future[np.ndarray]]":
         """Enqueue several right-hand sides under one lock acquisition.
 
         All requests enter the queue back-to-back, so the worker can
         coalesce them into ``max_batch``-sized micro-batches even while
-        other clients interleave their own submissions.
+        other clients interleave their own submissions.  Admission is
+        all-or-nothing: when a ``max_queue`` bound is configured and
+        the whole batch does not fit, the submission raises
+        :class:`~repro.errors.AdmissionError` and enqueues nothing.
+        ``timeout`` (seconds) applies per request, measured from
+        enqueue (see :meth:`submit`).
         """
+        if timeout is not None and timeout <= 0.0:
+            raise ConfigurationError(
+                f"timeout must be positive (seconds), got {timeout}"
+            )
         system, checked = None, []
         with self._cond:
             if self._closed:
-                raise ConfigurationError(
+                raise ServiceClosedError(
                     "service is closed; submit() after close() is not "
                     "allowed"
                 )
@@ -562,15 +634,33 @@ class SolveService:
                 raise MatrixFormatError(f"system {key!r}: {exc}") from None
         futures: list[Future] = []
         now = time.perf_counter()
+        deadline = now + timeout if timeout is not None else None
         with self._cond:
             if self._closed:
-                raise ConfigurationError(
+                raise ServiceClosedError(
                     "service is closed; submit() after close() is not "
                     "allowed"
                 )
+            if (
+                self._max_queue is not None
+                and len(self._queue) + len(checked) > self._max_queue
+            ):
+                system.n_admission_rejections += len(checked)
+                depth = len(self._queue)
+                if self._obs is not None:
+                    self._obs.get_registry().counter(
+                        "service.admission_rejections", system=str(key)
+                    ).inc(len(checked))
+                raise AdmissionError(
+                    f"system {key!r}: queue full ({depth} waiting, "
+                    f"bound {self._max_queue}); rejected "
+                    f"{len(checked)} request(s)"
+                )
             for b in checked:
                 fut: Future = Future()
-                self._queue.append(_Request(system, b, fut, now))
+                self._queue.append(
+                    _Request(system, b, fut, now, deadline)
+                )
                 futures.append(fut)
             self._cond.notify()
         if self._obs is not None:
@@ -579,9 +669,11 @@ class SolveService:
             )
         return futures
 
-    def solve(self, key: object, b: np.ndarray) -> np.ndarray:
+    def solve(
+        self, key: object, b: np.ndarray, *, timeout: float | None = None
+    ) -> np.ndarray:
         """Blocking convenience wrapper: ``submit(key, b).result()``."""
-        return self.submit(key, b).result()
+        return self.submit(key, b, timeout=timeout).result()
 
     def solve_block(self, key: object, b_block: np.ndarray) -> np.ndarray:
         """Synchronous SpTRSM against a registered system.
@@ -592,7 +684,7 @@ class SolveService:
         """
         with self._cond:
             if self._closed:
-                raise ConfigurationError(
+                raise ServiceClosedError(
                     "service is closed; solve_block() after close() is "
                     "not allowed"
                 )
@@ -608,7 +700,8 @@ class SolveService:
         k = b_block.shape[1]
         with self._cond:
             self._record(system, k, elapsed, elapsed * k,
-                         latencies=[elapsed] * k)
+                         latencies=[elapsed] * k,
+                         queue_waits=[0.0] * k)
         return x_block
 
     def _require_system(self, key: object) -> _System:
@@ -638,6 +731,12 @@ class SolveService:
     def plan_cache(self) -> PlanCache:
         """The (shared) plan cache lowering registered systems."""
         return self._cache
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting in the queue (not yet executing)."""
+        with self._cond:
+            return len(self._queue)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -684,16 +783,30 @@ class SolveService:
                     self._cond.wait()
                 if not self._queue:  # closed and drained
                     return
-                batch = self._take_batch_locked()
-            self._execute(batch)
+                batch, expired = self._take_batch_locked()
+            if expired:
+                self._expire(expired)
+            if batch:
+                self._execute(batch)
 
-    def _take_batch_locked(self) -> list[_Request]:
+    def _take_batch_locked(
+        self,
+    ) -> tuple[list[_Request], list[_Request]]:
         """Pop the head request plus consecutive same-system followers.
 
         Coalescing only the head *run* (never reaching past a request
         for a different system) keeps completion order identical to
-        submission order.
+        submission order.  Requests whose deadline has already passed
+        are swept into the second returned list instead of occupying
+        batch slots — the head run keeps coalescing past them, so one
+        expired request cannot split an otherwise contiguous batch.
         """
+        now = time.perf_counter()
+        expired: list[_Request] = []
+        while self._queue and self._queue[0].expired(now):
+            expired.append(self._queue.popleft())
+        if not self._queue:
+            return [], expired
         first = self._queue.popleft()
         batch = [first]
         limit = (
@@ -706,8 +819,37 @@ class SolveService:
             and len(batch) < limit
             and self._queue[0].system is first.system
         ):
-            batch.append(self._queue.popleft())
-        return batch
+            request = self._queue.popleft()
+            if request.expired(now):
+                expired.append(request)
+            else:
+                batch.append(request)
+        return batch, expired
+
+    def _expire(self, expired: list[_Request]) -> None:
+        """Fail swept requests with :class:`DeadlineExceededError`."""
+        failed: dict[_System, int] = {}
+        for request in expired:
+            if not request.future.set_running_or_notify_cancel():
+                continue  # client cancelled first; nothing to report
+            request.future.set_exception(
+                DeadlineExceededError(
+                    f"system {request.system.key!r}: deadline passed "
+                    "before the request reached execution"
+                )
+            )
+            failed[request.system] = failed.get(request.system, 0) + 1
+        if not failed:
+            return
+        with self._cond:
+            for system, n in failed.items():
+                system.n_deadline_misses += n
+        if self._obs is not None:
+            registry = self._obs.get_registry()
+            for system, n in failed.items():
+                registry.counter(
+                    "service.deadline_misses", system=str(system.key)
+                ).inc(n)
 
     def _execute(self, batch: list[_Request]) -> None:
         # transition every future to RUNNING; drop the ones a client
@@ -755,6 +897,7 @@ class SolveService:
         # result() must observe counters that include its own request
         # (latency is therefore measured to just before resolution)
         latencies = [done - r.enqueued_at for r in batch]
+        queue_waits = [t0 - r.enqueued_at for r in batch]
         with self._cond:
             self._record(
                 system,
@@ -762,6 +905,7 @@ class SolveService:
                 done - t0,
                 sum(latencies),
                 latencies=latencies,
+                queue_waits=queue_waits,
             )
         for request, x in zip(batch, results, strict=True):
             request.future.set_result(x)
@@ -774,6 +918,7 @@ class SolveService:
         latency_seconds: float,
         *,
         latencies: list[float] | None = None,
+        queue_waits: list[float] | None = None,
     ) -> None:
         """Update one system's counters; caller holds the lock."""
         system.n_requests += batch_size
@@ -781,11 +926,16 @@ class SolveService:
         system.max_batch_size = max(system.max_batch_size, batch_size)
         system.total_solve_seconds += solve_seconds
         system.total_latency_seconds += latency_seconds
+        if queue_waits:
+            system.total_queue_wait_seconds += sum(queue_waits)
         if system.batch_hist is not None:
             system.batch_hist.observe(batch_size)
             if latencies:
                 for latency in latencies:
                     system.latency_hist.observe(latency)
+            if queue_waits:
+                for wait in queue_waits:
+                    system.queue_wait_hist.observe(wait)
 
     def __repr__(self) -> str:
         with self._cond:

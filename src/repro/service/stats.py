@@ -37,6 +37,18 @@ class SystemStats:
         Summed enqueue-to-result latency over all completed requests.
     total_solve_seconds:
         Summed backend busy time over all batches.
+    total_queue_wait_seconds:
+        Summed enqueue-to-execute wait over all completed requests —
+        the head-of-line-blocking component of latency.  Populated
+        even without ``REPRO_OBS`` (cheap counter).
+    n_deadline_misses:
+        Requests failed with
+        :class:`~repro.errors.DeadlineExceededError` because their
+        deadline passed while queued.
+    n_admission_rejections:
+        Requests refused at submission time with
+        :class:`~repro.errors.AdmissionError` (bounded-queue
+        overflow); they never entered the queue.
     tuned_scheduler:
         Scheduler the autotuner picked for this system (``None`` when
         the system was registered with an explicit schedule).
@@ -46,12 +58,14 @@ class SystemStats:
     arm_seconds:
         Per-arm measured seconds from the tuning race (the online arm
         statistics; empty for explicitly scheduled systems).
-    latency_hist / batch_hist:
+    latency_hist / batch_hist / queue_wait_hist:
         Histogram snapshots (see :mod:`repro.obs.metrics`) of
-        per-request latency and micro-batch size, populated only when
-        the ``REPRO_OBS`` gate is on — ``None`` otherwise.  They feed
-        the ``latency_p50_s``/``latency_p99_s``/``batch_p50``/
-        ``batch_p99`` properties and the matching :meth:`as_row` keys.
+        per-request latency, micro-batch size and per-request
+        queue wait, populated only when the ``REPRO_OBS`` gate is on —
+        ``None`` otherwise.  They feed the ``latency_p50_s``/
+        ``latency_p99_s``/``batch_p50``/``batch_p99``/
+        ``queue_wait_p50_s``/``queue_wait_p99_s`` properties and the
+        matching :meth:`as_row` keys.
     backend:
         Resolved execution-backend name every batch of this system ran
         on (``"numpy"``, ``"numba"``, ``"numba-parallel"``, ...), so
@@ -86,6 +100,9 @@ class SystemStats:
     max_batch_size: int = 0
     total_latency_seconds: float = 0.0
     total_solve_seconds: float = 0.0
+    total_queue_wait_seconds: float = 0.0
+    n_deadline_misses: int = 0
+    n_admission_rejections: int = 0
     tuned_scheduler: str | None = None
     n_plan_swaps: int = 0
     arm_seconds: dict = field(default_factory=dict)
@@ -93,6 +110,7 @@ class SystemStats:
     plan_source: str = ""
     latency_hist: dict | None = None
     batch_hist: dict | None = None
+    queue_wait_hist: dict | None = None
 
     @staticmethod
     def _percentile(hist: dict | None, q: float) -> float | None:
@@ -123,6 +141,25 @@ class SystemStats:
     def batch_p99(self) -> float | None:
         """p99 micro-batch size (``None`` without ``REPRO_OBS``)."""
         return self._percentile(self.batch_hist, 0.99)
+
+    @property
+    def queue_wait_p50_s(self) -> float | None:
+        """Median enqueue-to-execute wait (``None`` without obs)."""
+        return self._percentile(self.queue_wait_hist, 0.50)
+
+    @property
+    def queue_wait_p99_s(self) -> float | None:
+        """p99 enqueue-to-execute wait (``None`` without obs)."""
+        return self._percentile(self.queue_wait_hist, 0.99)
+
+    @property
+    def avg_queue_wait_seconds(self) -> float:
+        """Mean enqueue-to-execute wait per completed request."""
+        return (
+            self.total_queue_wait_seconds / self.n_requests
+            if self.n_requests
+            else 0.0
+        )
 
     @property
     def avg_batch_size(self) -> float:
@@ -163,7 +200,10 @@ class SystemStats:
             "avg_batch": self.avg_batch_size,
             "max_batch": self.max_batch_size,
             "avg_latency_s": self.avg_latency_seconds,
+            "avg_queue_wait_s": self.avg_queue_wait_seconds,
             "throughput_rps": self.throughput_rps,
+            "deadline_misses": self.n_deadline_misses,
+            "admission_rejections": self.n_admission_rejections,
             "tuned_scheduler": self.tuned_scheduler,
             "plan_swaps": self.n_plan_swaps,
             "backend": self.backend,
@@ -175,4 +215,7 @@ class SystemStats:
         if self.batch_hist is not None:
             row["batch_p50"] = self.batch_p50
             row["batch_p99"] = self.batch_p99
+        if self.queue_wait_hist is not None:
+            row["queue_wait_p50_s"] = self.queue_wait_p50_s
+            row["queue_wait_p99_s"] = self.queue_wait_p99_s
         return row

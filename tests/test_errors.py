@@ -3,22 +3,30 @@
 import pytest
 
 from repro.errors import (
+    AdmissionError,
     ConfigurationError,
+    DeadlineExceededError,
     InvalidPartitionError,
     InvalidScheduleError,
     MatrixFormatError,
     NotTriangularError,
     ReproError,
+    ServiceClosedError,
     SingularMatrixError,
 )
 
 
 def test_hierarchy():
-    for exc in (ConfigurationError, InvalidPartitionError,
+    for exc in (AdmissionError, ConfigurationError,
+                DeadlineExceededError, InvalidPartitionError,
                 InvalidScheduleError, MatrixFormatError,
-                NotTriangularError, SingularMatrixError):
+                NotTriangularError, ServiceClosedError,
+                SingularMatrixError):
         assert issubclass(exc, ReproError)
     assert issubclass(NotTriangularError, MatrixFormatError)
+    # pre-existing handlers caught submit-after-close as
+    # ConfigurationError; the named subclass must keep them working
+    assert issubclass(ServiceClosedError, ConfigurationError)
 
 
 def test_library_errors_catchable_as_base():

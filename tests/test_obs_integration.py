@@ -89,6 +89,9 @@ class TestGateOff:
         row = stats.as_row()
         assert "latency_p50_s" not in row
         assert "batch_p99" not in row
+        assert "queue_wait_p50_s" not in row
+        # the cheap queue-wait counter stays populated gate-off
+        assert stats.total_queue_wait_seconds > 0.0
 
 
 class TestGateOn:
@@ -102,6 +105,11 @@ class TestGateOn:
         row = stats.as_row()
         assert row["latency_p50_s"] == stats.latency_p50_s
         assert row["batch_p99"] == stats.batch_p99
+        # queue-wait percentiles ride the same gate
+        assert stats.queue_wait_p50_s is not None
+        assert stats.queue_wait_p99_s >= stats.queue_wait_p50_s
+        assert row["queue_wait_p50_s"] == stats.queue_wait_p50_s
+        assert stats.queue_wait_p50_s <= stats.latency_p99_s
 
     def test_flush_and_report(self, obs_on, lower, tmp_path):
         from repro.obs.export import load_dir, report
@@ -116,6 +124,9 @@ class TestGateOn:
         assert latency["p50"] > 0.0
         assert latency["p99"] >= latency["p50"]
         assert rep["systems"]["sys"]["batch"]["p50"] >= 1.0
+        queue_wait = rep["systems"]["sys"]["queue_wait"]
+        assert queue_wait["count"] > 0
+        assert queue_wait["p99"] >= queue_wait["p50"]
         # the service's span instrumentation leaves a causal trace
         names = {e["name"] for e in events}
         assert "service.batch" in names

@@ -12,7 +12,13 @@ import threading
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, MatrixFormatError
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DeadlineExceededError,
+    MatrixFormatError,
+    ServiceClosedError,
+)
 from repro.exec import PlanCache, compile_plan, get_backend
 from repro.graph.dag import DAG
 from repro.matrix.generators import erdos_renyi_lower, narrow_band_lower
@@ -377,6 +383,137 @@ class TestUnregisterAndLifecycle:
             service.solve_block("s", np.ones((lower.n, 2)))
         with pytest.raises(ConfigurationError, match="closed"):
             service.register("t", lower)
+
+    def test_submit_after_close_raises_named_error(self, lower):
+        """Regression for the promoted error type: every request path
+        raises ServiceClosedError (still a ConfigurationError, so
+        pre-existing handlers keep working)."""
+        service = SolveService()
+        service.register("s", lower)
+        service.close()
+        b = np.ones(lower.n)
+        with pytest.raises(ServiceClosedError):
+            service.submit("s", b)
+        with pytest.raises(ServiceClosedError):
+            service.submit_many("s", [b])
+        with pytest.raises(ServiceClosedError):
+            service.solve("s", b)
+        with pytest.raises(ServiceClosedError):
+            service.solve_block("s", np.ones((lower.n, 2)))
+        assert issubclass(ServiceClosedError, ConfigurationError)
+
+
+class TestAdmissionAndDeadlines:
+    def test_max_queue_validated(self):
+        with pytest.raises(ConfigurationError):
+            SolveService(max_queue=0)
+
+    def test_timeout_validated(self, lower):
+        with SolveService() as service:
+            service.register("s", lower)
+            with pytest.raises(ConfigurationError, match="timeout"):
+                service.submit("s", np.ones(lower.n), timeout=0.0)
+            with pytest.raises(ConfigurationError, match="timeout"):
+                service.submit_many(
+                    "s", [np.ones(lower.n)], timeout=-1.0
+                )
+
+    def test_oversized_submission_rejected_all_or_nothing(self, lower):
+        """A submit_many that cannot fit under max_queue raises
+        AdmissionError and enqueues *nothing*; the service keeps
+        serving afterwards."""
+        with SolveService(max_queue=4) as service:
+            service.register("s", lower)
+            bs = [np.ones(lower.n) for _ in range(5)]
+            with pytest.raises(AdmissionError, match="queue full"):
+                service.submit_many("s", bs)
+            stats = service.stats("s")
+            assert stats.n_admission_rejections == 5
+            assert stats.as_row()["admission_rejections"] == 5
+            # nothing of the rejected batch entered the queue
+            x = service.solve("s", np.ones(lower.n))
+            assert x.shape == (lower.n,)
+            assert service.stats("s").n_requests == 1
+
+    def test_unbounded_queue_never_rejects(self, lower):
+        with SolveService() as service:
+            service.register("s", lower)
+            futures = service.submit_many(
+                "s", [np.ones(lower.n) for _ in range(64)]
+            )
+            for f in futures:
+                f.result(timeout=30)
+            assert service.stats("s").n_admission_rejections == 0
+
+    def test_expired_request_fails_with_deadline_error(self, lower):
+        """A deadline that passes before the worker reaches the request
+        fails its future with DeadlineExceededError instead of
+        executing it.  timeout=1e-9 expires before the worker can even
+        re-acquire the queue lock, so the sweep is deterministic."""
+        with SolveService() as service:
+            service.register("s", lower)
+            future = service.submit("s", np.ones(lower.n),
+                                    timeout=1e-9)
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=30)
+            stats = service.stats("s")
+            assert stats.n_deadline_misses == 1
+            assert stats.as_row()["deadline_misses"] == 1
+            # expired work occupied no batch slot and the worker lives
+            assert stats.n_requests == 0
+            x = service.solve("s", np.ones(lower.n))
+            assert x.shape == (lower.n,)
+
+    def test_generous_deadline_executes_normally(self, lower):
+        with SolveService() as service:
+            service.register("s", lower)
+            x = service.solve("s", np.ones(lower.n), timeout=30.0)
+            assert x.shape == (lower.n,)
+            assert service.stats("s").n_deadline_misses == 0
+
+    def test_expired_requests_do_not_split_the_batch(self, lower):
+        """An expired request between two live same-system requests is
+        swept while the head run keeps coalescing around it."""
+        with SolveService(max_batch=8) as service:
+            service.register("s", lower)
+            b = np.ones(lower.n)
+            live_a = service.submit_many("s", [b, b])
+            dead = service.submit("s", b, timeout=1e-9)
+            live_b = service.submit_many("s", [b, b])
+            for f in live_a + live_b:
+                assert f.result(timeout=30).shape == (lower.n,)
+            with pytest.raises(DeadlineExceededError):
+                dead.result(timeout=30)
+
+    def test_queue_wait_counters_without_obs(self, lower):
+        """The cheap queue-wait counter stays populated with the obs
+        gate off; the histogram (and its as_row keys) appear only
+        under REPRO_OBS."""
+        bs = [np.ones(lower.n) for _ in range(16)]
+        with SolveService(max_batch=4) as service:
+            service.register("s", lower)
+            for f in service.submit_many("s", bs):
+                f.result(timeout=30)
+            stats = service.stats("s")
+        assert stats.total_queue_wait_seconds > 0.0
+        assert stats.avg_queue_wait_seconds > 0.0
+        # queue wait is the pre-execution share of latency
+        assert (stats.total_queue_wait_seconds
+                <= stats.total_latency_seconds)
+        row = stats.as_row()
+        assert row["avg_queue_wait_s"] == stats.avg_queue_wait_seconds
+        assert stats.queue_wait_hist is None
+        assert "queue_wait_p50_s" not in row
+
+    def test_pending_counts_queued_requests(self, lower):
+        with SolveService() as service:
+            service.register("s", lower)
+            assert service.pending == 0
+            for f in service.submit_many(
+                "s", [np.ones(lower.n) for _ in range(8)]
+            ):
+                f.result(timeout=30)
+            assert service.pending == 0
 
 
 class TestSharedCacheWithTuner:

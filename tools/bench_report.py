@@ -5,9 +5,11 @@ Runs the exec / service / tuner micro-benchmarks of
 :mod:`repro.experiments.bench` in full (non-smoke) mode and writes one
 ``BENCH_<suite>.json`` per suite — per-backend median solve seconds for
 the exec suite (serial-loop / numpy / numba / numba-parallel / fused,
-per plan shape), serving throughput for the service suite, cold-vs-warm
-tuning cost for the tuner suite, cold-compile-vs-verified-load cost for
-the plan_store suite — plus ``BENCH_warm_start.json`` from the
+per plan shape), serving throughput for the service suite,
+single-vs-sharded saturation throughput plus open-loop latency
+percentiles for the serving suite, cold-vs-warm tuning cost for the
+tuner suite, cold-compile-vs-verified-load cost for the plan_store
+suite — plus ``BENCH_warm_start.json`` from the
 persistent-JIT two-process check and the plan-store two-process check
 (each second process must perform zero compiles; the script exits
 non-zero when either recompiles).
@@ -18,7 +20,7 @@ build artifacts on every push so the trajectory is visible per run.
 Usage::
 
     PYTHONPATH=src python tools/bench_report.py [--output DIR] [--smoke]
-                                    [--suite {exec,service,tuner,plan_store,all}]
+                        [--suite {exec,service,serving,tuner,plan_store,all}]
 
 No third-party dependencies beyond the repo's own (numba optional: the
 JIT tiers report ``null`` and the warm-start check is skipped without
@@ -45,7 +47,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite", default="all",
-        choices=["exec", "service", "tuner", "plan_store", "all"],
+        choices=["exec", "service", "serving", "tuner", "plan_store",
+                 "all"],
     )
     parser.add_argument(
         "--smoke", action="store_true",
